@@ -1,0 +1,61 @@
+"""Shared fixtures for the experiment benches.
+
+Each bench regenerates one of the paper's figures (see the experiment
+index in DESIGN.md), prints the same rows/series the paper reports, and
+asserts the *shape* of the result — who wins, roughly by what factor,
+where the crossovers fall — rather than absolute numbers, since the
+substrate is a simulator, not the authors' PYNQ-Z1.
+
+Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import default_config
+
+
+@pytest.fixture(scope="session")
+def config():
+    return default_config()
+
+
+@pytest.fixture(scope="session")
+def victim():
+    from repro.zoo import get_pretrained
+
+    return get_pretrained()
+
+
+@pytest.fixture(scope="session")
+def lenet_engine(victim, config):
+    from repro.accel import AcceleratorEngine
+
+    return AcceleratorEngine(victim.quantized, config=config,
+                             rng=np.random.default_rng(2021))
+
+
+@pytest.fixture(scope="session")
+def probe_engine(config):
+    from repro.accel import AcceleratorEngine
+    from repro.nn import build_probe_model, quantize_model
+    from repro.nn.model import PROBE_INPUT_SHAPE
+
+    return AcceleratorEngine(quantize_model(build_probe_model()),
+                             config=config,
+                             rng=np.random.default_rng(1021),
+                             input_shape=PROBE_INPUT_SHAPE)
+
+
+@pytest.fixture(scope="session")
+def eval_set(victim):
+    """The accuracy-evaluation subset used by the attack benches."""
+    return (victim.dataset.test_images[:120],
+            victim.dataset.test_labels[:120])
+
+
+def once(benchmark, fn):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

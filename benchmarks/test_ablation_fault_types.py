@@ -1,0 +1,59 @@
+"""E8: fault-type ablation (Section IV-A's mechanism analysis).
+
+The paper explains the per-layer sensitivity asymmetry mechanistically:
+duplication faults are "absorbed by more serial summations" in FC layers
+while random faults drive convolution damage.  This bench isolates the
+two classes by forcing every injected fault to one class and comparing
+the accuracy damage per layer.
+"""
+
+import numpy as np
+
+from conftest import once
+from repro.accel import StruckCycles
+from repro.analysis import fixed_table
+
+N_STRIKES = 2500
+VOLTS = 0.94  # fault-rich regime so class effects are visible
+TARGETS = ["conv2", "fc1"]
+
+
+def run_ablation(lenet_engine, eval_set):
+    images, labels = eval_set
+    clean = (lenet_engine.predict_clean(images) == labels).mean()
+    rows = {}
+    for layer in TARGETS:
+        plan = lenet_engine.schedule.window(layer).plan
+        cycles = np.linspace(0, plan.cycles - 1, N_STRIKES).astype(int)
+        volts = np.full(N_STRIKES, VOLTS)
+        rows[layer] = {}
+        for klass in ("duplication", "random"):
+            struck = StruckCycles(layer, cycles, volts, force_class=klass)
+            rows[layer][klass] = lenet_engine.accuracy_under_attack(
+                images, labels, [struck]
+            )
+    return clean, rows
+
+
+def test_ablation_fault_types(benchmark, lenet_engine, eval_set):
+    clean, rows = once(benchmark, lambda: run_ablation(lenet_engine,
+                                                       eval_set))
+
+    table = [
+        [layer, round(rows[layer]["duplication"], 4),
+         round(rows[layer]["random"], 4)]
+        for layer in TARGETS
+    ]
+    print(f"\nE8 — fault-class ablation (clean {clean:.4f}, "
+          f"{N_STRIKES} strikes at {VOLTS} V):")
+    print(fixed_table(["target", "dup-only acc", "random-only acc"], table))
+
+    # Duplication faults are absorbed in FC1 (near-zero damage).
+    assert clean - rows["fc1"]["duplication"] <= 0.05
+    # Random faults do the real damage, in both layer types.
+    assert rows["fc1"]["random"] < rows["fc1"]["duplication"] - 0.05
+    assert rows["conv2"]["random"] < rows["conv2"]["duplication"] - 0.05
+    # Conv tolerates duplication better than random by a wide margin.
+    dup_damage = clean - rows["conv2"]["duplication"]
+    rnd_damage = clean - rows["conv2"]["random"]
+    assert rnd_damage > 2 * max(dup_damage, 0.01)

@@ -1,0 +1,90 @@
+"""E7: TDC configuration ablation (Section III-B's counting errors).
+
+The paper warns that F_dr, L_LUT and L_CARRY "should be carefully
+designed to avoid counting errors".  This bench sweeps configurations:
+the paper's choice calibrates cleanly and tracks droop; delay lines too
+long for the drive period cannot calibrate at all; too-short/coarse
+lines lose sensitivity.
+"""
+
+import dataclasses
+
+import numpy as np
+
+from conftest import once
+from repro.analysis import fixed_table
+from repro.config import TDCConfig, default_config
+from repro.errors import CalibrationError
+from repro.fpga import ClockManagementTile
+from repro.sensors import GateDelayModel, TDCSensor, calibrate_theta
+
+#: (label, config, drive period)
+VARIANTS = [
+    ("paper: L_LUT=4, L_CARRY=128, 200MHz", TDCConfig(), 5e-9),
+    ("short line: L_LUT=1", dataclasses.replace(TDCConfig(), l_lut=1), 5e-9),
+    ("long line: L_LUT=8", dataclasses.replace(TDCConfig(), l_lut=8), 5e-9),
+    ("way too long: L_LUT=16", dataclasses.replace(TDCConfig(), l_lut=16),
+     5e-9),
+    ("faster drive: 400MHz", TDCConfig(), 2.5e-9),
+    ("coarse carry: 64 stages x 32ps",
+     dataclasses.replace(TDCConfig(), l_carry=64,
+                         carry_stage_delay_nominal=32e-12,
+                         calibration_target=46), 5e-9),
+]
+
+
+def evaluate_variant(label, tdc_config, drive_period):
+    config = default_config()
+    delay_model = GateDelayModel(config.delay)
+    cmt = ClockManagementTile()
+    try:
+        theta, nominal = calibrate_theta(
+            tdc_config, delay_model, cmt, rng=np.random.default_rng(3),
+            drive_period_s=drive_period,
+        )
+    except CalibrationError:
+        return {"label": label, "calibrates": False, "sensitivity": 0.0,
+                "saturates": True}
+    sensor = TDCSensor(tdc_config, delay_model, theta, rng=None)
+    sensitivity = sensor.sensitivity_counts_per_volt()
+    deep = sensor.readout(0.90)
+    return {
+        "label": label,
+        "calibrates": True,
+        "nominal": nominal,
+        "sensitivity": sensitivity,
+        "saturates": bool(sensor.is_saturated(deep)),
+    }
+
+
+def test_ablation_tdc_config(benchmark):
+    results = once(
+        benchmark,
+        lambda: [evaluate_variant(*v) for v in VARIANTS],
+    )
+
+    rows = [
+        [r["label"], "yes" if r["calibrates"] else "NO",
+         round(r["sensitivity"], 1),
+         "SAT" if r["saturates"] else "ok"]
+        for r in results
+    ]
+    print("\nE7 — TDC configuration ablation:")
+    print(fixed_table(["variant", "calibrates", "counts/V", "deep droop"],
+                      rows))
+
+    by_label = {r["label"]: r for r in results}
+    paper = by_label["paper: L_LUT=4, L_CARRY=128, 200MHz"]
+    assert paper["calibrates"] and not paper["saturates"]
+    assert paper["sensitivity"] > 300
+
+    # Delay lines longer than the drive period cannot be phase-matched.
+    assert not by_label["way too long: L_LUT=16"]["calibrates"]
+    # The 400 MHz drive can't fit the 4-LUT line either (2.5 ns period).
+    assert not by_label["faster drive: 400MHz"]["calibrates"]
+    # A shorter LUT line costs sensitivity versus the paper's choice.
+    assert by_label["short line: L_LUT=1"]["sensitivity"] \
+        < paper["sensitivity"]
+    # Coarser carry stages cost resolution too.
+    assert by_label["coarse carry: 64 stages x 32ps"]["sensitivity"] \
+        < paper["sensitivity"]

@@ -1,0 +1,32 @@
+"""E5: the clean victim's operating point (paper Section IV).
+
+The paper's fixed-point LeNet-5 reaches 96.17% test accuracy on the
+FPGA.  This bench reports our float and Q3.4 accuracies on the synthetic
+digit task and checks the quantization loss is small.
+"""
+
+from conftest import once
+from repro.analysis import fixed_table
+
+
+def test_clean_accuracy(benchmark, victim):
+    q_acc = once(
+        benchmark,
+        lambda: victim.quantized.accuracy(victim.dataset.test_images,
+                                          victim.dataset.test_labels),
+    )
+
+    rows = [
+        ["float32", round(victim.float_accuracy, 4)],
+        ["Q3.4 (deployed)", round(q_acc, 4)],
+        ["paper (on-FPGA)", 0.9617],
+    ]
+    print("\nE5 — clean test accuracy:")
+    print(fixed_table(["model", "accuracy"], rows))
+
+    # High-90s operating regime, like the paper's 96.17%.
+    assert q_acc >= 0.95
+    # Quantization to 8-bit / 3 integer bits costs little.
+    assert victim.float_accuracy - q_acc < 0.02
+    # Test set is balanced 10-class, so ~10x above chance.
+    assert q_acc > 0.90

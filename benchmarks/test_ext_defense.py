@@ -1,0 +1,80 @@
+"""E9 (extension): defences against DeepStrike.
+
+The paper's conclusion points at defences as future work; its own
+citations supply the two candidates this bench evaluates on the full
+simulated stack:
+
+* a **runtime droop monitor** (the TDC used defensively) — detection
+  rate / latency / false alarms across attack intensities, and
+* an **admission-time bitstream scanner** (strict latch-loop and
+  enable-fanout screening) — which rejects the striker outright.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import once
+from repro.analysis import fixed_table
+from repro.defense import BitstreamScanner, DetectionStudy, DroopMonitor
+from repro.fpga.netlist import Netlist
+from repro.sensors import GateDelayModel, TDCSensor
+from repro.sensors.calibration import theta_for_target
+from repro.striker import build_striker_cell_netlist
+
+INTENSITIES = [(2000, 200), (5000, 500), (5000, 1500), (8000, 1500)]
+
+
+@pytest.fixture(scope="module")
+def study(probe_engine, config):
+    delay_model = GateDelayModel(config.delay)
+    theta = theta_for_target(config.tdc, delay_model, voltage=0.9867)
+    sensor = TDCSensor(config.tdc, delay_model, theta,
+                       rng=np.random.default_rng(60))
+    return DetectionStudy(probe_engine, sensor, seed=61)
+
+
+def test_ext_droop_monitor(benchmark, study, config):
+    monitor = DroopMonitor()
+    results = once(
+        benchmark,
+        lambda: study.sweep(monitor, INTENSITIES, trials=3),
+    )
+
+    rows = [
+        [r.bank_cells, r.n_strikes, f"{r.detection_rate:.2f}",
+         (f"{r.mean_latency_s * 1e6:.2f} us"
+          if r.mean_latency_s is not None else "-"),
+         f"{r.false_alarm_rate:.2f}"]
+        for r in results
+    ]
+    print("\nE9 — droop-monitor detection across attack intensities:")
+    print(fixed_table(["cells", "strikes", "det rate", "latency",
+                       "false alarms"], rows))
+
+    # The attack-relevant intensities are always detected, with no false
+    # alarms on clean traffic.
+    strong = [r for r in results if r.bank_cells >= 5000]
+    assert all(r.detection_rate == 1.0 for r in strong)
+    assert all(r.false_alarm_rate == 0.0 for r in results)
+    # Detection is fast: well inside one inference.
+    inference_s = study.engine.schedule.total_cycles \
+        / config.clock.victim_frequency_hz
+    for r in strong:
+        assert r.mean_latency_s is not None
+        assert r.mean_latency_s < inference_s
+
+
+def test_ext_bitstream_scanner(benchmark):
+    def scan_bank():
+        bank = Netlist("striker_bank")
+        for k in range(128):
+            build_striker_cell_netlist(k, netlist=bank)
+        return BitstreamScanner().scan(bank)
+
+    report = once(benchmark, scan_bank)
+    print("\nE9 — admission-time scan of the striker bank:")
+    print(report.summary())
+
+    assert not report.admit, "the scanner must reject the striker"
+    assert report.potential_oscillators >= 128
+    assert report.max_latch_gate_fanout >= 256  # shared Start net

@@ -1,0 +1,81 @@
+"""E1 / Fig 1(b): TDC traces distinguish DNN layer types.
+
+Paper setup: maxpool, conv3x3 and conv1x1 executed sequentially with the
+TDC (F_dr=200 MHz, L_LUT=4, L_CARRY=128, theta calibrated to ~90) reading
+the shared rail.  Expected shape: three activity regions separated by
+stalls at the calibrated readout, with convolution fluctuation much
+larger than max-pooling fluctuation.
+"""
+
+import numpy as np
+
+from conftest import once
+from repro.accel import inference_current_trace
+from repro.accel.activity import STALL_CURRENT
+from repro.analysis import fixed_table
+from repro.core import SideChannelProfiler
+from repro.fpga import ClockManagementTile
+from repro.fpga.pdn import PowerDistributionNetwork
+from repro.sensors import GateDelayModel, ReadoutTrace, TDCSensor, calibrate_theta
+
+
+def collect_trace(config, probe_engine, seed=1):
+    delay_model = GateDelayModel(config.delay)
+    pdn_probe = PowerDistributionNetwork(config.pdn, config.clock.sim_dt,
+                                         rng=None)
+    idle_volts = pdn_probe.settle(STALL_CURRENT)
+    theta, nominal = calibrate_theta(
+        config.tdc, delay_model, ClockManagementTile(),
+        idle_voltage=idle_volts, rng=np.random.default_rng(seed),
+    )
+    sensor = TDCSensor(config.tdc, delay_model, theta,
+                       rng=np.random.default_rng(seed + 1))
+    current = inference_current_trace(
+        probe_engine.schedule, config.accel, config.clock,
+        rng=np.random.default_rng(seed + 2),
+    )
+    pdn = PowerDistributionNetwork(config.pdn, config.clock.sim_dt,
+                                   rng=np.random.default_rng(seed + 3))
+    pdn.settle(STALL_CURRENT)
+    readouts = sensor.sample_trace(pdn.simulate(current))
+    return readouts, nominal
+
+
+def test_fig1b_layer_traces(benchmark, config, probe_engine):
+    readouts, nominal = once(
+        benchmark, lambda: collect_trace(config, probe_engine)
+    )
+
+    profiler = SideChannelProfiler(nominal_readout=nominal)
+    signatures = profiler.profile(readouts, dt=config.clock.sim_dt)
+    trace = ReadoutTrace(readouts, dt=config.clock.sim_dt, nominal=nominal)
+    segments = trace.segment(stall_band=profiler.stall_band,
+                             window=profiler.smoothing_window,
+                             min_activity_ticks=profiler.min_activity_ticks,
+                             merge_gap_ticks=profiler.merge_gap_ticks)
+    stalls = [s for s in segments if s.kind == "stall"]
+
+    rows = [
+        [f"#{s.order}", s.kind_guess, s.start_tick, s.duration_ticks,
+         round(s.mean_droop, 2), round(s.fluctuation, 2)]
+        for s in signatures
+    ]
+    print("\nE1 / Fig 1(b) — layer traces (nominal readout "
+          f"{nominal}):")
+    print(fixed_table(["layer", "kind", "start", "ticks", "droop",
+                       "fluct"], rows))
+
+    # Shape assertions (paper Fig 1b).
+    assert len(signatures) == 3, "maxpool / conv3x3 / conv1x1 must separate"
+    pool, conv3, conv1 = signatures
+    # Stalls sit at the calibrated readout (~90).
+    for stall in stalls:
+        assert abs(stall.mean - nominal) < 1.5
+    # Conv droop/fluctuation >> pool droop/fluctuation.
+    assert conv3.mean_droop > 2.0 * pool.mean_droop
+    assert conv1.mean_droop > 2.0 * pool.mean_droop
+    # The two conv layers share their signature level; durations differ.
+    assert abs(conv3.mean_droop - conv1.mean_droop) < 1.5
+    assert conv3.duration_ticks > 2 * conv1.duration_ticks
+    # Classification labels the conv layers correctly.
+    assert conv3.kind_guess == "conv" and conv1.kind_guess == "conv"

@@ -1,0 +1,48 @@
+"""E4 / Fig 6(b): DSP fault rates versus striker-bank size.
+
+10,000 random-input DSP operations per bank size, one-cycle strikes.
+Expected shape: duplication faults appear first and peak mid-range;
+random faults take over at deep droop; the total rate is controllable
+and approaches 100% at 24,000 cells.
+"""
+
+import numpy as np
+
+from conftest import once
+from repro.analysis import fixed_table, monotone_fraction
+from repro.dsp import FaultCharacterization
+
+CELL_COUNTS = [4000, 6000, 8000, 10000, 12000, 16000, 20000, 24000]
+
+
+def test_fig6b_dsp_fault_rates(benchmark):
+    harness = FaultCharacterization(seed=2021)
+    sweep = once(
+        benchmark,
+        lambda: harness.sweep(CELL_COUNTS, trials=10_000),
+    )
+
+    rows = [
+        [r.n_cells, round(harness.strike_voltage(r.n_cells), 4),
+         round(r.duplication_rate, 3), round(r.random_rate, 3),
+         round(r.total_rate, 3)]
+        for r in sweep
+    ]
+    print("\nE4 / Fig 6(b) — DSP fault rates vs striker cells:")
+    print(fixed_table(["cells", "v_strike", "dup", "random", "total"], rows))
+
+    by_cells = {r.n_cells: r for r in sweep}
+    # Small banks are harmless; the paper's 'total ~100% at 24,000 cells'.
+    assert by_cells[4000].total_rate < 0.02
+    assert by_cells[24000].total_rate > 0.90
+    # Total rate is a controllable, monotone dose-response.
+    totals = [r.total_rate for r in sweep]
+    assert monotone_fraction(totals, decreasing=False) == 1.0
+    # Duplication faults lead at shallow droop...
+    assert by_cells[8000].duplication_rate > by_cells[8000].random_rate
+    # ...random faults dominate at deep droop...
+    assert by_cells[24000].random_rate > by_cells[24000].duplication_rate
+    # ...and duplication rises then falls (an interior peak).
+    dups = [r.duplication_rate for r in sweep]
+    peak = int(np.argmax(dups))
+    assert 0 < peak < len(dups) - 1

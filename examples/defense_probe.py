@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""The defender's view: can the victim's own sensor see DeepStrike?
+
+The paper's sensing trick cuts both ways — prior work uses the very same
+TDC as a *defensive* droop monitor.  This example co-simulates the full
+closed-loop attack on the board and shows what a defender-owned TDC
+observes: strike trains stand far out of the normal activity envelope,
+and a strict (latch-scanning) DRC would have rejected the striker
+bitstream in the first place.
+
+Run:  python examples/defense_probe.py
+"""
+
+import numpy as np
+
+from repro.analysis import line_chart
+from repro.core import AttackScheme
+from repro.fpga import DesignRuleChecker
+from repro.nn import build_probe_model, quantize_model
+from repro.nn.model import PROBE_INPUT_SHAPE
+from repro.testbed import build_attack_testbed
+
+
+def main() -> None:
+    model = quantize_model(build_probe_model())
+    testbed = build_attack_testbed(model, input_shape=PROBE_INPUT_SHAPE,
+                                   bank_cells=5000, seed=77)
+    engine = testbed.engine
+    ticks = (engine.schedule.total_cycles + 500) * 2
+
+    # Baseline: victim running, attacker silent.
+    testbed.board.reset()
+    testbed.scheduler.load_scheme(AttackScheme(10, 5, 0))  # no strikes
+    testbed.run(ticks)
+    quiet = testbed.scheduler.readout_trace()
+
+    # Attack: strikes across the conv3x3 layer.
+    conv = engine.schedule.window("conv3x3")
+    trigger = engine.schedule.windows()[0].start_cycle + 2
+    scheme = AttackScheme(
+        attack_delay=conv.start_cycle - trigger,
+        attack_period=10,
+        number_of_attacks=150,
+    )
+    testbed.board.reset()
+    testbed.scheduler.load_scheme(scheme)
+    testbed.run(ticks)
+    noisy = testbed.scheduler.readout_trace()
+
+    print(line_chart(quiet, height=9, width=100,
+                     title="Defender TDC, normal inference:"))
+    print()
+    print(line_chart(noisy, height=9, width=100,
+                     title="Defender TDC, inference under DeepStrike:"))
+
+    # A simple droop-threshold detector: anything deeper than the worst
+    # legitimate droop (plus margin) is an attack signature.
+    normal_floor = quiet.min()
+    margin = 3
+    alarms = int(np.count_nonzero(noisy < normal_floor - margin))
+    print(f"\nNormal-operation readout floor: {normal_floor}")
+    print(f"Samples beyond floor-{margin} during the attack: {alarms} "
+          f"({'ALARM' if alarms else 'no alarm'})")
+
+    # And the structural defence: strict DRC catches the striker.
+    strict = DesignRuleChecker(strict_latch_scan=True)
+    report = strict.check(testbed.bank.netlist)
+    print("\nStrict (latch-scanning) DRC on the striker bitstream:")
+    print(report.summary())
+
+
+if __name__ == "__main__":
+    main()

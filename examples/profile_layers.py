@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Side-channel layer profiling (paper Fig 1b and Fig 3 workflow).
+
+Runs the three-layer probe model (maxpool -> conv3x3 -> conv1x1) on the
+shared PDN while the calibrated TDC samples the rail, renders the sensor
+trace, segments it into per-layer signatures, and shows the DNN start
+detector's purified 5-bit view firing at the first layer's start.
+
+Run:  python examples/profile_layers.py
+"""
+
+import numpy as np
+
+from repro.accel import AcceleratorEngine, inference_current_trace
+from repro.accel.activity import STALL_CURRENT
+from repro.analysis import fixed_table, line_chart
+from repro.config import default_config
+from repro.core import DNNStartDetector, SideChannelProfiler
+from repro.fpga import ClockManagementTile
+from repro.fpga.pdn import PowerDistributionNetwork
+from repro.nn import build_probe_model, quantize_model
+from repro.nn.model import PROBE_INPUT_SHAPE
+from repro.sensors import GateDelayModel, TDCSensor, calibrate_theta
+
+
+def main() -> None:
+    config = default_config()
+    engine = AcceleratorEngine(quantize_model(build_probe_model()),
+                               config=config,
+                               rng=np.random.default_rng(10),
+                               input_shape=PROBE_INPUT_SHAPE)
+
+    # Calibrate the sensor at the board's true idle operating point.
+    delay_model = GateDelayModel(config.delay)
+    idle_pdn = PowerDistributionNetwork(config.pdn, config.clock.sim_dt,
+                                        rng=None)
+    idle_volts = idle_pdn.settle(STALL_CURRENT)
+    theta, nominal = calibrate_theta(config.tdc, delay_model,
+                                     ClockManagementTile(),
+                                     idle_voltage=idle_volts,
+                                     rng=np.random.default_rng(11))
+    print(f"TDC calibrated: theta = {theta * 1e9:.3f} ns, idle readout "
+          f"= {nominal} / {config.tdc.l_carry} "
+          f"(paper: ~90 consecutive 1s)\n")
+
+    # One victim inference, sensed through the PDN.
+    sensor = TDCSensor(config.tdc, delay_model, theta,
+                       rng=np.random.default_rng(12))
+    current = inference_current_trace(engine.schedule, config.accel,
+                                      config.clock,
+                                      rng=np.random.default_rng(13))
+    pdn = PowerDistributionNetwork(config.pdn, config.clock.sim_dt,
+                                   rng=np.random.default_rng(14))
+    pdn.settle(STALL_CURRENT)
+    readouts = sensor.sample_trace(pdn.simulate(current))
+
+    print(line_chart(readouts, height=10, width=100,
+                     title="TDC readout during one probe inference "
+                           "(Fig 1b analogue):"))
+    print()
+
+    profiler = SideChannelProfiler(nominal_readout=nominal)
+    signatures = profiler.profile(readouts, dt=config.clock.sim_dt)
+    rows = [
+        [f"#{s.order}", s.kind_guess, s.start_tick, s.duration_ticks,
+         f"{s.mean_droop:.2f}", f"{s.fluctuation:.2f}"]
+        for s in signatures
+    ]
+    print("Recovered layer signature library:")
+    print(fixed_table(["layer", "kind", "start", "ticks", "droop",
+                       "fluct"], rows))
+    truth = [(w.plan.name, w.plan.kind) for w in engine.schedule.windows()]
+    print(f"\nGround truth (hidden from the attacker): {truth}\n")
+
+    detector = DNNStartDetector(l_carry=config.tdc.l_carry)
+    hw = detector.detector_input_trace(readouts)
+    trigger = detector.find_trigger(readouts)
+    start_tick = engine.schedule.windows()[0].start_cycle \
+        * config.clock.ticks_per_victim_cycle
+    print(line_chart(hw[:start_tick + 400], height=6, width=100,
+                     title="DNN start detector input (Fig 3 analogue):"))
+    print(f"\nFirst layer truly starts at tick {start_tick}; "
+          f"detector fired at tick {trigger} "
+          f"({trigger - start_tick} ticks of latency).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: one misclassification, end to end.
+
+Builds the paper's full setup on the simulated PYNQ-Z1 — the trained,
+quantized LeNet-5 victim accelerator, the TDC-based attack scheduler, and
+the latch-loop power striker bank — plans a strike train against CONV2,
+and shows one test digit flipping from a correct to a wrong prediction.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import get_pretrained
+from repro.accel import AcceleratorEngine
+from repro.analysis import sparkline
+from repro.core import DeepStrike
+
+
+def main() -> None:
+    print("Training / loading the victim LeNet-5 (cached after first run)...")
+    victim = get_pretrained()
+    print(f"  {victim.summary()}\n")
+
+    engine = AcceleratorEngine(victim.quantized,
+                               rng=np.random.default_rng(2))
+    print("Victim accelerator schedule:")
+    print(engine.schedule.summary(), "\n")
+
+    attack = DeepStrike(engine, rng=np.random.default_rng(3))
+    plan = attack.plan_for_layer("conv2", n_strikes=4500)
+    print(f"Planned {plan.strikes_landed} strikes on conv2, "
+          f"mean strike voltage {plan.mean_strike_voltage():.4f} V")
+    print(f"Attacking scheme file: delay={plan.scheme.attack_delay} "
+          f"period={plan.scheme.attack_period} "
+          f"attacks={plan.scheme.number_of_attacks}\n")
+
+    images = victim.dataset.test_images[:200]
+    labels = victim.dataset.test_labels[:200]
+    clean_preds = engine.predict_clean(images)
+    attacked_preds = engine.predict_under_attack(images, plan.struck)
+
+    flipped = np.nonzero((clean_preds == labels)
+                         & (attacked_preds != labels))[0]
+    print(f"Clean accuracy:    {(clean_preds == labels).mean():.3f}")
+    print(f"Attacked accuracy: {(attacked_preds == labels).mean():.3f}")
+    print(f"{flipped.size} of {len(labels)} correct predictions flipped.\n")
+
+    if flipped.size:
+        k = int(flipped[0])
+        print(f"Example victim: test image #{k} "
+              f"(true digit {labels[k]})")
+        print(f"  clean prediction:    {clean_preds[k]}")
+        print(f"  under attack:        {attacked_preds[k]}")
+        image = images[k, 0]
+        for row in image[::2]:
+            print("   " + sparkline(row, width=28))
+
+
+if __name__ == "__main__":
+    main()

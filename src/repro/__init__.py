@@ -1,0 +1,77 @@
+"""DeepStrike reproduction: remotely-guided fault injection on DNN
+accelerators in cloud FPGAs (Luo et al., DAC 2021), fully simulated.
+
+Quick tour::
+
+    from repro import default_config, get_pretrained
+    from repro.accel import AcceleratorEngine
+    from repro.core import DeepStrike
+
+    victim = get_pretrained()                       # LeNet-5 + Q3.4
+    engine = AcceleratorEngine(victim.quantized)    # the FPGA victim
+    attack = DeepStrike(engine)                     # the attacker
+    plan = attack.plan_for_layer("conv2", n_strikes=2000)
+    outcome = attack.execute(victim.dataset.test_images[:200],
+                             victim.dataset.test_labels[:200], plan)
+    print(outcome.accuracy_drop)
+
+Subpackages: :mod:`repro.fpga` (fabric, PDN, DRC, tenancy),
+:mod:`repro.sensors` (TDC delay sensor), :mod:`repro.striker` (power
+wasters), :mod:`repro.dsp` (DSP48 fault models), :mod:`repro.nn` /
+:mod:`repro.data` (victim training), :mod:`repro.accel` (the victim
+accelerator), :mod:`repro.core` (the attack), :mod:`repro.analysis`.
+"""
+
+from .config import (
+    AcceleratorConfig,
+    ClockConfig,
+    DSPConfig,
+    DelayModelConfig,
+    PDNConfig,
+    SimulationConfig,
+    StrikerConfig,
+    TDCConfig,
+    default_config,
+)
+from .errors import (
+    CalibrationError,
+    ConfigError,
+    DRCViolation,
+    PlacementError,
+    ProfilingError,
+    QuantizationError,
+    ReproError,
+    ResourceError,
+    SchedulerError,
+    SchemeError,
+    SimulationError,
+)
+from .zoo import PretrainedVictim, get_pretrained
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AcceleratorConfig",
+    "CalibrationError",
+    "ClockConfig",
+    "ConfigError",
+    "DRCViolation",
+    "DSPConfig",
+    "DelayModelConfig",
+    "PDNConfig",
+    "PlacementError",
+    "PretrainedVictim",
+    "ProfilingError",
+    "QuantizationError",
+    "ReproError",
+    "ResourceError",
+    "SchedulerError",
+    "SchemeError",
+    "SimulationConfig",
+    "SimulationError",
+    "StrikerConfig",
+    "TDCConfig",
+    "__version__",
+    "default_config",
+    "get_pretrained",
+]

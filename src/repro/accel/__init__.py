@@ -1,0 +1,30 @@
+"""The victim DNN accelerator: schedule, activity, and fault-aware engine.
+
+Models the open-source accelerator engine of the paper's evaluation: a
+DSP-array design where convolution layers stream MACs through
+``conv_lanes`` parallel DSP48 slices, fully connected layers accumulate
+serially through ``fc_lanes`` slices, and pooling runs on LUT fabric.
+The accelerator exposes exactly what DeepStrike consumes:
+
+* a deterministic cycle **schedule** (which ops execute when), so a
+  strike at a known cycle hits a known set of MACs, and
+* a per-cycle current **activity** trace, which modulates the shared PDN
+  and gives the TDC sensor its layer signatures.
+"""
+
+from .mapper import LayerPlan, map_model, propagate_shapes
+from .schedule import AcceleratorSchedule, LayerWindow
+from .activity import inference_current_trace, layer_current
+from .engine import AcceleratorEngine, StruckCycles
+
+__all__ = [
+    "AcceleratorEngine",
+    "AcceleratorSchedule",
+    "LayerPlan",
+    "LayerWindow",
+    "StruckCycles",
+    "inference_current_trace",
+    "layer_current",
+    "map_model",
+    "propagate_shapes",
+]

@@ -1,0 +1,79 @@
+"""Per-cycle supply-current activity of the accelerator.
+
+The victim's switching activity is the side channel: convolution bursts
+draw tens of milliamps through the DSP array, pooling draws a fraction of
+that, and inter-layer stalls draw almost nothing.  The TDC sees those
+levels through the PDN as the distinct per-layer patterns of Fig 1(b).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..config import AcceleratorConfig, ClockConfig
+from ..errors import ConfigError
+from .schedule import AcceleratorSchedule, LayerWindow
+
+__all__ = ["layer_current", "inference_current_trace", "STALL_CURRENT"]
+
+#: Residual current during stalls (control FSM + weight prefetch), amps.
+STALL_CURRENT = 2.0e-3
+
+
+def layer_current(window: LayerWindow, config: AcceleratorConfig) -> float:
+    """Mean supply current while ``window``'s layer executes, amps."""
+    plan = window.plan
+    if plan.kind in ("conv", "dense"):
+        compute = plan.lanes * config.current_per_active_dsp
+        # Each lane streams an operand pair per cycle from BRAM.
+        memory = plan.lanes * 2 * config.bram_current_per_access
+    elif plan.kind == "pool":
+        compute = plan.lanes * config.current_per_pool_op
+        # A kernel^2 window read per op.
+        memory = plan.lanes * 4 * config.bram_current_per_access
+    else:
+        raise ConfigError(f"unknown layer kind '{plan.kind}'")
+    return compute + memory
+
+
+def inference_current_trace(
+    schedule: AcceleratorSchedule,
+    accel_config: AcceleratorConfig,
+    clock_config: ClockConfig,
+    rng: Optional[np.random.Generator] = None,
+    images: int = 1,
+    gap_cycles: Optional[int] = None,
+) -> np.ndarray:
+    """Supply-current trace (one entry per simulation *tick*) for
+    ``images`` back-to-back inferences.
+
+    Cycle-to-cycle activity jitter (data-dependent toggling) modulates
+    the per-layer level by ``accel_config.activity_jitter``; pass
+    ``rng=None`` for the deterministic mean trace.
+    """
+    if images < 1:
+        raise ConfigError("need at least one inference")
+    gap = schedule.config.interlayer_stall_cycles if gap_cycles is None \
+        else gap_cycles
+    per_image = schedule.total_cycles
+    total_cycles = images * per_image + (images - 1) * gap
+    cycle_current = np.full(total_cycles, STALL_CURRENT, dtype=np.float64)
+
+    for image in range(images):
+        base = image * (per_image + gap)
+        for window in schedule.windows():
+            level = layer_current(window, accel_config)
+            span = slice(base + window.start_cycle, base + window.end_cycle)
+            n = window.end_cycle - window.start_cycle
+            if rng is not None and accel_config.activity_jitter > 0:
+                jitter = 1.0 + accel_config.activity_jitter * (
+                    2.0 * rng.random(n) - 1.0
+                )
+                cycle_current[span] = level * jitter
+            else:
+                cycle_current[span] = level
+
+    ticks_per_cycle = clock_config.ticks_per_victim_cycle
+    return np.repeat(cycle_current, ticks_per_cycle)

@@ -1,0 +1,359 @@
+"""Fault-aware accelerator engine.
+
+Executes the quantized model's integer dataflow exactly as
+:class:`~repro.nn.QuantizedModel` does — a cross-check test pins the two
+to identical outputs when no strikes land — and additionally applies
+power-strike faults to the MAC/pool ops the attack schedule exposes.
+
+The injection path mirrors the DSP slice physics op-for-op:
+
+* the ops issued during a struck cycle are exactly
+  ``LayerPlan.ops_at_cycle``,
+* each exposed op draws a fault decision from the *same*
+  :class:`~repro.dsp.TimingFaultModel` the scalar DSP model uses, at the
+  struck cycle's rail voltage (plus per-image supply noise),
+* a duplication fault substitutes the *previous* op's correct product
+  (the stale-pipeline behaviour), a random fault substitutes uniform
+  garbage over the DSP product width.
+
+Pooling runs on LUT fabric at the victim clock with generous slack, so
+pool ops consult a second fault model with the pool path's timing — they
+only fault under far deeper droop, reproducing the paper's finding that
+the pooling layer is the least fault-sensitive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as dc_replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..config import DSPConfig, SimulationConfig, default_config
+from ..errors import ConfigError, SimulationError
+from ..nn.quantize import QConv, QDense, QuantizedModel
+from ..sensors.delay import GateDelayModel
+from ..dsp.faults import FaultType, TimingFaultModel
+from ..units import ns
+from .mapper import LayerPlan, map_model
+from .schedule import AcceleratorSchedule
+
+__all__ = ["StruckCycles", "AcceleratorEngine"]
+
+#: Width of the random garbage a random fault writes (DSP product bits).
+_RANDOM_FAULT_BITS = 18
+
+
+@dataclass(frozen=True)
+class StruckCycles:
+    """Strikes landing inside one layer.
+
+    ``cycles`` are victim-clock cycles *relative to the layer start*;
+    ``voltages`` are the deterministic rail voltages at those cycles (the
+    attack planner computes them from the PDN model; per-image supply
+    noise is added at decision time).
+    """
+
+    layer_name: str
+    cycles: np.ndarray
+    voltages: np.ndarray
+    #: Force every fault to one class ("duplication" | "random"); fault
+    #: *occurrence* still follows the voltage.  Used by the fault-type
+    #: ablation (E8); None reproduces the physical mix.
+    force_class: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        c = np.asarray(self.cycles)
+        v = np.asarray(self.voltages)
+        if c.shape != v.shape or c.ndim != 1:
+            raise ConfigError("cycles and voltages must be matching 1-D arrays")
+        if self.force_class not in (None, "duplication", "random"):
+            raise ConfigError(
+                f"force_class must be None/'duplication'/'random', "
+                f"got {self.force_class!r}"
+            )
+
+    @property
+    def count(self) -> int:
+        return int(np.asarray(self.cycles).shape[0])
+
+
+def _pool_path_config(dsp: DSPConfig, victim_frequency_hz: float) -> DSPConfig:
+    """Timing config of the LUT-fabric pooling path: single-rate clock,
+    much shorter path, hence far more slack than the DDR DSP path."""
+    return dc_replace(
+        dsp,
+        pipeline_depth=2,
+        ddr_frequency_hz=victim_frequency_hz,
+        critical_path_nominal=ns(6.5),
+    )
+
+
+class AcceleratorEngine:
+    """Integer inference with schedule-aligned fault injection."""
+
+    def __init__(self, model: QuantizedModel,
+                 config: Optional[SimulationConfig] = None,
+                 rng: Optional[np.random.Generator] = None,
+                 input_shape: Tuple[int, ...] = (1, 28, 28)) -> None:
+        self.config = (config or default_config()).validate()
+        self.model = model
+        self.input_shape = input_shape
+        self.rng = rng if rng is not None else np.random.default_rng(
+            self.config.seed
+        )
+        self.plans: List[LayerPlan] = map_model(model, self.config.accel,
+                                                input_shape)
+        self.schedule = AcceleratorSchedule(self.plans, self.config.accel)
+        delay_model = GateDelayModel(self.config.delay)
+        self.dsp_faults = TimingFaultModel(self.config.dsp, delay_model, self.rng)
+        self.pool_faults = TimingFaultModel(
+            _pool_path_config(self.config.dsp,
+                              self.config.clock.victim_frequency_hz),
+            delay_model,
+            self.rng,
+        )
+        self._plan_by_name: Dict[str, LayerPlan] = {p.name: p for p in self.plans}
+
+    # -- clean path ----------------------------------------------------------
+
+    def infer_clean(self, images: np.ndarray) -> np.ndarray:
+        """Fault-free logits (identical to ``model.forward``)."""
+        return self.model.forward(images)
+
+    def predict_clean(self, images: np.ndarray) -> np.ndarray:
+        return self.model.predict(images)
+
+    # -- attacked path ----------------------------------------------------------
+
+    def infer_under_attack(self, images: np.ndarray,
+                           struck: Sequence[StruckCycles]) -> np.ndarray:
+        """Logits with the given strikes applied to every inference.
+
+        The strike *timing* repeats each inference (the detector re-arms
+        per image and the schedule is deterministic); the fault *outcomes*
+        are sampled independently per image.
+        """
+        by_layer: Dict[str, StruckCycles] = {}
+        for entry in struck:
+            if entry.layer_name not in self._plan_by_name:
+                raise ConfigError(f"no layer named '{entry.layer_name}'")
+            if entry.layer_name in by_layer:
+                raise ConfigError(
+                    f"duplicate strike set for layer '{entry.layer_name}'"
+                )
+            by_layer[entry.layer_name] = entry
+
+        codes = self.model.quantize_input(images)
+        for index, stage in enumerate(self.model.stages):
+            x_in = codes
+            codes = stage.forward_codes(codes)
+            entry = by_layer.get(getattr(stage, "name", ""))
+            if entry is None or entry.count == 0:
+                continue
+            plan = self._plan_by_name[entry.layer_name]
+            if plan.stage_index != index:
+                raise SimulationError("plan/stage index mismatch")
+            if plan.kind == "conv":
+                codes = self._fault_conv(stage, plan, entry, x_in, codes)
+            elif plan.kind == "dense":
+                codes = self._fault_dense(stage, plan, entry, x_in, codes)
+            elif plan.kind == "pool":
+                codes = self._fault_pool(plan, entry, codes)
+        scale = 2.0 ** (-self.model.product_frac_bits)
+        return np.asarray(codes, dtype=np.float64) * scale
+
+    def predict_under_attack(self, images: np.ndarray,
+                             struck: Sequence[StruckCycles]) -> np.ndarray:
+        return np.argmax(self.infer_under_attack(images, struck), axis=1)
+
+    def accuracy_under_attack(self, images: np.ndarray, labels: np.ndarray,
+                              struck: Sequence[StruckCycles],
+                              batch_size: int = 64) -> float:
+        """Top-1 accuracy with strikes applied to every inference."""
+        correct = 0
+        for start in range(0, images.shape[0], batch_size):
+            preds = self.predict_under_attack(
+                images[start:start + batch_size], struck
+            )
+            correct += int((preds == labels[start:start + batch_size]).sum())
+        return correct / images.shape[0]
+
+    # -- exposure helpers ----------------------------------------------------------
+
+    def _exposed_ops(self, plan: LayerPlan,
+                     entry: StruckCycles) -> Tuple[np.ndarray, np.ndarray]:
+        """(op indices, per-op voltages) exposed by the struck cycles."""
+        ops_list = []
+        volt_list = []
+        for cycle, volts in zip(np.asarray(entry.cycles),
+                                np.asarray(entry.voltages)):
+            start, end = plan.ops_at_cycle(int(cycle))
+            ops_list.append(np.arange(start, end, dtype=np.int64))
+            volt_list.append(np.full(end - start, float(volts)))
+        return np.concatenate(ops_list), np.concatenate(volt_list)
+
+    def _decide(self, model: TimingFaultModel,
+                voltages: np.ndarray) -> np.ndarray:
+        """Per-op fault decisions with fresh supply noise."""
+        noisy = voltages + self.rng.normal(
+            0.0, self.config.pdn.noise_sigma_v, size=voltages.shape
+        )
+        return model.decide_array(noisy)
+
+    def _mac_deltas(self, volts: np.ndarray, p_cur: np.ndarray,
+                    p_prev: np.ndarray,
+                    force_class: Optional[str] = None) -> np.ndarray:
+        """Accumulator error terms for one image's exposed MAC ops.
+
+        Two data-dependence effects gate the damage, both consequences of
+        timing faults only corrupting *transitioning* bits:
+
+        * an op whose product equals the previous op's (typically both
+          zero — sparse image inputs in conv1) excites no transition and
+          cannot fault at all;
+        * random-fault garbage spans only the toggling bit-width, so its
+          magnitude is bounded by a small multiple of the operand
+          products, not the full 48-bit register.
+        """
+        types = self._decide(self.dsp_faults, volts)
+        types[p_cur == p_prev] = FaultType.NONE
+        if force_class is not None:
+            forced = FaultType.DUPLICATION if force_class == "duplication" \
+                else FaultType.RANDOM
+            types[types != FaultType.NONE] = forced
+        delta = np.zeros(p_cur.shape[0], dtype=np.int64)
+        dup = types == FaultType.DUPLICATION
+        delta[dup] = p_prev[dup] - p_cur[dup]
+        rnd = types == FaultType.RANDOM
+        if np.any(rnd):
+            word = (1 << _RANDOM_FAULT_BITS) - 1
+            u_cur = p_cur[rnd] & word
+            u_prev = p_prev[rnd] & word
+            toggling = u_cur ^ u_prev  # nonzero: gated on p_cur != p_prev
+            # Bits above the highest toggling bit are settled; below it,
+            # anything may be captured.  Note a sign flip toggles the
+            # whole word (two's complement), yielding large garbage.
+            width = np.floor(np.log2(toggling)).astype(np.int64) + 1
+            mask = (np.int64(1) << width) - 1
+            captured = (u_cur & ~mask) | (
+                self.rng.integers(0, word + 1, size=mask.shape) & mask
+            )
+            captured = np.where(captured >= 1 << (_RANDOM_FAULT_BITS - 1),
+                                captured - (1 << _RANDOM_FAULT_BITS), captured)
+            delta[rnd] = captured - p_cur[rnd]
+        return delta
+
+    # -- per-kind injectors ----------------------------------------------------------
+
+    def _fault_conv(self, stage: QConv, plan: LayerPlan, entry: StruckCycles,
+                    x_codes: np.ndarray, acc: np.ndarray) -> np.ndarray:
+        """Inject into a convolution's accumulators.
+
+        Op enumeration (matching the schedule): for each output pixel
+        ``r`` (row-major), each output channel ``o``, each kernel element
+        ``j`` (im2col column order): ``op = (r*OC + o)*K + j``.
+
+        The *previous* product a slice holds — the one a duplication
+        fault delivers, and the transition partner for eligibility — is
+        the op issued ``lanes`` earlier (same slice, previous cycle), not
+        ``op - 1``; ops in a layer's first cycle follow idle slices
+        (previous product 0).
+        """
+        # forward_codes returns a transposed (non-contiguous) view whose
+        # reshape would silently copy; make it contiguous so the reshaped
+        # accumulator view below aliases the array we return.
+        acc = np.ascontiguousarray(acc)
+        n_images = acc.shape[0]
+        oc = acc.shape[1]
+        r_total = acc.shape[2] * acc.shape[3]
+        cols, w_mat, _, _ = stage.unfold(x_codes)
+        k_total = w_mat.shape[1]
+
+        ops, volts = self._exposed_ops(plan, entry)
+        r_idx = ops // (oc * k_total)
+        rem = ops % (oc * k_total)
+        o_idx = rem // k_total
+        j_idx = rem % k_total
+        prev = np.maximum(ops - plan.lanes, 0)
+        no_prev = ops < plan.lanes
+        prem = prev % (oc * k_total)
+        pr_idx = prev // (oc * k_total)
+        po_idx = prem // k_total
+        pj_idx = prem % k_total
+
+        acc_view = acc.reshape(n_images, oc, r_total)
+        for n in range(n_images):
+            p_cur = cols[n * r_total + r_idx, j_idx] * w_mat[o_idx, j_idx]
+            p_prev = cols[n * r_total + pr_idx, pj_idx] * w_mat[po_idx, pj_idx]
+            p_prev = np.where(no_prev, 0, p_prev)
+            delta = self._mac_deltas(volts, p_cur, p_prev,
+                                     entry.force_class)
+            hit = np.nonzero(delta)[0]
+            if hit.size:
+                np.add.at(acc_view, (n, o_idx[hit], r_idx[hit]), delta[hit])
+        return acc
+
+    def _fault_dense(self, stage: QDense, plan: LayerPlan, entry: StruckCycles,
+                     x_codes: np.ndarray, acc: np.ndarray) -> np.ndarray:
+        """Inject into a fully connected layer's accumulators.
+
+        Op enumeration: output-neuron major, input-feature minor
+        (``op = o*IN + j``) — the serial accumulation the paper
+        describes.  As with conv, a slice's previous product is the op
+        ``lanes`` earlier.
+        """
+        n_images = acc.shape[0]
+        out_f, in_f = stage.w_codes.shape
+        ops, volts = self._exposed_ops(plan, entry)
+        o_idx = ops // in_f
+        j_idx = ops % in_f
+        prev = np.maximum(ops - plan.lanes, 0)
+        no_prev = ops < plan.lanes
+        po_idx = prev // in_f
+        pj_idx = prev % in_f
+
+        for n in range(n_images):
+            p_cur = x_codes[n, j_idx] * stage.w_codes[o_idx, j_idx]
+            p_prev = x_codes[n, pj_idx] * stage.w_codes[po_idx, pj_idx]
+            p_prev = np.where(no_prev, 0, p_prev)
+            delta = self._mac_deltas(volts, p_cur, p_prev,
+                                     entry.force_class)
+            hit = np.nonzero(delta)[0]
+            if hit.size:
+                np.add.at(acc, (n, o_idx[hit]), delta[hit])
+        return acc
+
+    def _fault_pool(self, plan: LayerPlan, entry: StruckCycles,
+                    out: np.ndarray) -> np.ndarray:
+        """Inject into pooling outputs (LUT path: rarely faults).
+
+        Op enumeration: channel-major output pixels
+        (``op = (c*OH + y)*OW + x``).  Duplication repeats the previous
+        pixel's value; random writes garbage within the activation range.
+        """
+        # Multi-axis reductions can hand back non-contiguous arrays whose
+        # reshape would silently copy; realign so the flat view aliases
+        # the array we return.
+        out = np.ascontiguousarray(out)
+        n_images = out.shape[0]
+        flat = out.reshape(n_images, -1)
+        total = flat.shape[1]
+        ops, volts = self._exposed_ops(plan, entry)
+        prev = np.maximum(ops - 1, 0)
+        act = self.model.act_format
+
+        for n in range(n_images):
+            types = self._decide(self.pool_faults, volts)
+            faulted = np.nonzero(types != FaultType.NONE)[0]
+            if faulted.size == 0:
+                continue
+            fop = ops[faulted]
+            if np.any(fop >= total):
+                raise SimulationError("pool op index outside the feature map")
+            is_dup = types[faulted] == FaultType.DUPLICATION
+            dup_vals = flat[n, prev[faulted]]
+            rand_vals = self.rng.integers(act.int_min, act.int_max + 1,
+                                          size=faulted.size)
+            flat[n, fop] = np.where(is_dup, dup_vals, rand_vals)
+        return out

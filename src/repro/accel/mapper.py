@@ -1,0 +1,143 @@
+"""Map a quantized model onto the accelerator's compute resources.
+
+Each compute stage (conv / dense / pool) becomes a :class:`LayerPlan`:
+its op count, how many parallel lanes execute it, and hence how many
+victim clock cycles it occupies.  The lane asymmetry is the paper's
+observation in hardware form: conv layers spread across the DSP array
+while FC layers "only add k x k prior multiplication results" serially —
+which is why FC1, with fewer MACs than a wide layer would suggest, still
+runs longest.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..config import AcceleratorConfig
+from ..errors import ConfigError
+from ..nn.ops import conv_output_size
+from ..nn.quantize import QConv, QDense, QFlatten, QPool, QTanh, QuantizedModel
+
+__all__ = ["LayerPlan", "propagate_shapes", "map_model"]
+
+
+@dataclass(frozen=True)
+class LayerPlan:
+    """One compute stage's placement on the accelerator."""
+
+    name: str
+    kind: str  # "conv" | "dense" | "pool"
+    stage_index: int  # index into QuantizedModel.stages
+    in_shape: Tuple[int, ...]
+    out_shape: Tuple[int, ...]
+    ops: int  # MACs (conv/dense) or window reductions (pool), per image
+    lanes: int
+
+    @property
+    def cycles(self) -> int:
+        """Victim clock cycles this layer occupies per image."""
+        return math.ceil(self.ops / self.lanes)
+
+    def ops_at_cycle(self, cycle: int) -> Tuple[int, int]:
+        """Half-open op-index range issued during ``cycle`` (0-based,
+        relative to layer start)."""
+        if not 0 <= cycle < self.cycles:
+            raise ConfigError(
+                f"{self.name}: cycle {cycle} outside [0, {self.cycles})"
+            )
+        start = cycle * self.lanes
+        return start, min(start + self.lanes, self.ops)
+
+
+def propagate_shapes(model: QuantizedModel,
+                     input_shape: Tuple[int, ...] = (1, 28, 28)) -> List[Tuple[int, ...]]:
+    """Per-stage output shapes (index-aligned with ``model.stages``)."""
+    shapes: List[Tuple[int, ...]] = []
+    shape = input_shape
+    for stage in model.stages:
+        if isinstance(stage, QConv):
+            oc, ic, k, _ = stage.w_codes.shape
+            if shape[0] != ic:
+                raise ConfigError(
+                    f"{stage.name}: expects {ic} channels, got {shape[0]}"
+                )
+            shape = (
+                oc,
+                conv_output_size(shape[1], k, stage.stride, stage.pad),
+                conv_output_size(shape[2], k, stage.stride, stage.pad),
+            )
+        elif isinstance(stage, QPool):
+            c, h, w = shape
+            shape = (c, h // stage.kernel, w // stage.kernel)
+        elif isinstance(stage, QDense):
+            out_f, in_f = stage.w_codes.shape
+            expected = shape[0] if len(shape) == 1 else int(
+                shape[0] * shape[1] * shape[2]
+            )
+            if expected != in_f:
+                raise ConfigError(
+                    f"{stage.name}: expects {in_f} features, got {expected}"
+                )
+            shape = (out_f,)
+        elif isinstance(stage, QFlatten):
+            size = 1
+            for dim in shape:
+                size *= dim
+            shape = (size,)
+        elif isinstance(stage, QTanh):
+            pass  # elementwise
+        else:
+            raise ConfigError(f"unknown stage kind: {stage!r}")
+        shapes.append(shape)
+    return shapes
+
+
+def map_model(model: QuantizedModel, config: AcceleratorConfig,
+              input_shape: Tuple[int, ...] = (1, 28, 28)) -> List[LayerPlan]:
+    """Layer plans for every compute stage, in execution order."""
+    config.validate()
+    shapes = propagate_shapes(model, input_shape)
+    plans: List[LayerPlan] = []
+    shape = input_shape
+    for index, stage in enumerate(model.stages):
+        out_shape = shapes[index]
+        if isinstance(stage, QConv):
+            plans.append(
+                LayerPlan(
+                    name=stage.name,
+                    kind="conv",
+                    stage_index=index,
+                    in_shape=shape,
+                    out_shape=out_shape,
+                    ops=stage.mac_count(shape),
+                    lanes=config.conv_lanes,
+                )
+            )
+        elif isinstance(stage, QDense):
+            plans.append(
+                LayerPlan(
+                    name=stage.name,
+                    kind="dense",
+                    stage_index=index,
+                    in_shape=shape,
+                    out_shape=out_shape,
+                    ops=stage.mac_count(),
+                    lanes=config.fc_lanes,
+                )
+            )
+        elif isinstance(stage, QPool):
+            plans.append(
+                LayerPlan(
+                    name=stage.name,
+                    kind="pool",
+                    stage_index=index,
+                    in_shape=shape,
+                    out_shape=out_shape,
+                    ops=stage.op_count(shape),
+                    lanes=config.pool_lanes,
+                )
+            )
+        shape = out_shape
+    return plans

@@ -1,0 +1,130 @@
+"""Scalar reference executor: a conv layer through real DSP48 pipelines.
+
+The vectorized fault injector in :mod:`repro.accel.engine` is an
+optimization; this module is its ground truth.  It instantiates one
+:class:`~repro.dsp.DSP48Slice` per lane and streams a convolution's MACs
+through them in schedule order, cycle by cycle, with an arbitrary
+per-cycle rail-voltage trace — exactly what the hardware array does.
+
+It is orders of magnitude slower than the vectorized path (Python loop
+per op), so it only runs on small layers inside the cross-validation
+tests, which is its entire purpose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Union
+
+import numpy as np
+
+from ..config import SimulationConfig, default_config
+from ..dsp.faults import TimingFaultModel
+from ..dsp.slice_model import DSP48Slice
+from ..errors import ConfigError
+from ..nn.quantize import QConv
+from ..sensors.delay import GateDelayModel
+
+__all__ = ["ScalarConvResult", "run_conv_layer_scalar"]
+
+VoltageFn = Union[np.ndarray, Callable[[int], float]]
+
+
+@dataclass
+class ScalarConvResult:
+    """Output of the scalar execution."""
+
+    acc: np.ndarray  # (OC, OH, OW) accumulator codes
+    faults: int      # ops whose retired value differed from expected
+    cycles: int      # victim cycles consumed
+
+
+def run_conv_layer_scalar(
+    stage: QConv,
+    x_codes: np.ndarray,
+    lanes: int,
+    voltage: VoltageFn,
+    config: Optional[SimulationConfig] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> ScalarConvResult:
+    """Execute one image's convolution on a live DSP48 array.
+
+    Parameters
+    ----------
+    stage:
+        The quantized convolution to run.
+    x_codes:
+        One image's activation codes, shape ``(C, H, W)``.
+    lanes:
+        DSP slices in the array (ops issue ``lanes`` per cycle, in the
+        same enumeration the schedule/vectorized injector uses).
+    voltage:
+        Either a per-cycle rail-voltage array or a ``cycle -> volts``
+        callable.
+    """
+    if x_codes.ndim != 3:
+        raise ConfigError("x_codes must be a single image (C, H, W)")
+    cfg = (config or default_config()).validate()
+    gen = rng if rng is not None else np.random.default_rng(cfg.seed)
+    delay_model = GateDelayModel(cfg.delay)
+
+    cols, w_mat, out_h, out_w = stage.unfold(x_codes[None, ...])
+    oc, k_total = w_mat.shape
+    r_total = out_h * out_w
+    total_ops = r_total * oc * k_total
+
+    # One independent pipeline (and fault stream) per lane.
+    slices: List[DSP48Slice] = [
+        DSP48Slice(
+            cfg.dsp,
+            TimingFaultModel(cfg.dsp, delay_model,
+                             np.random.default_rng(gen.integers(2 ** 63))),
+            name=f"lane{k}",
+        )
+        for k in range(lanes)
+    ]
+
+    def volts_at(cycle: int) -> float:
+        if callable(voltage):
+            return float(voltage(cycle))
+        arr = np.asarray(voltage, dtype=np.float64)
+        return float(arr[min(cycle, arr.shape[0] - 1)])
+
+    acc = np.zeros((oc, r_total), dtype=np.int64)
+    acc += np.asarray(stage.b_codes, dtype=np.int64)[:, None]
+    faults = 0
+    depth = slices[0].depth
+    cycles = (total_ops + lanes - 1) // lanes
+
+    # In-flight bookkeeping: which (o, r) each lane's pipeline holds.
+    in_flight: List[List[Optional[tuple]]] = [[] for _ in range(lanes)]
+
+    for cycle in range(cycles + depth):
+        v = volts_at(min(cycle, cycles - 1))
+        for lane in range(lanes):
+            op = cycle * lanes + lane
+            if op < total_ops:
+                r = op // (oc * k_total)
+                rem = op % (oc * k_total)
+                o = rem // k_total
+                j = rem % k_total
+                a = int(cols[r, j])
+                b = int(w_mat[o, j])
+                result = slices[lane].clock(a, b, 0, voltage=v)
+                in_flight[lane].append((o, r))
+            else:
+                result = slices[lane].clock(0, 0, 0, voltage=v)
+                in_flight[lane].append(None)
+            # The op retiring now was issued `depth` clocks ago.
+            if len(in_flight[lane]) > depth:
+                target = in_flight[lane].pop(0)
+                if target is not None:
+                    o, r = target
+                    acc[o, r] += result.value
+                    if result.value != result.expected:
+                        faults += 1
+    return ScalarConvResult(
+        acc=acc.reshape(oc, out_h, out_w),
+        faults=faults,
+        cycles=cycles,
+    )

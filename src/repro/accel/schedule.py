@@ -1,0 +1,103 @@
+"""The accelerator's deterministic cycle schedule.
+
+Layers execute back-to-back with an inter-layer stall (weight/feature
+buffering) between them — the "stall zones" visible in the paper's TDC
+traces (Fig 1b).  The schedule is a pure function of the model and the
+accelerator config, which is the property DeepStrike exploits: once the
+start detector fires, every later cycle's work is predictable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..config import AcceleratorConfig
+from ..errors import ConfigError
+from .mapper import LayerPlan
+
+__all__ = ["LayerWindow", "AcceleratorSchedule"]
+
+
+@dataclass(frozen=True)
+class LayerWindow:
+    """A layer's span in victim clock cycles (end exclusive)."""
+
+    plan: LayerPlan
+    start_cycle: int
+    end_cycle: int
+
+    @property
+    def cycles(self) -> int:
+        return self.end_cycle - self.start_cycle
+
+    def contains(self, cycle: int) -> bool:
+        return self.start_cycle <= cycle < self.end_cycle
+
+
+class AcceleratorSchedule:
+    """Per-inference timeline: stall | layer | stall | layer | ... | stall."""
+
+    def __init__(self, plans: List[LayerPlan],
+                 config: AcceleratorConfig) -> None:
+        if not plans:
+            raise ConfigError("schedule needs at least one layer plan")
+        config.validate()
+        self.config = config
+        self.plans = list(plans)
+        self._windows: List[LayerWindow] = []
+        cursor = config.interlayer_stall_cycles  # initial load stall
+        for plan in self.plans:
+            window = LayerWindow(plan, cursor, cursor + plan.cycles)
+            self._windows.append(window)
+            cursor = window.end_cycle + config.interlayer_stall_cycles
+        self.total_cycles = cursor
+
+    # -- lookup ----------------------------------------------------------
+
+    def windows(self) -> List[LayerWindow]:
+        return list(self._windows)
+
+    def window(self, layer_name: str) -> LayerWindow:
+        for window in self._windows:
+            if window.plan.name == layer_name:
+                return window
+        raise ConfigError(f"no layer named '{layer_name}' in the schedule")
+
+    def layer_names(self) -> List[str]:
+        return [w.plan.name for w in self._windows]
+
+    def layer_at(self, cycle: int) -> Optional[LayerWindow]:
+        """The window executing at an absolute cycle (None during stalls)."""
+        if not 0 <= cycle < self.total_cycles:
+            raise ConfigError(
+                f"cycle {cycle} outside the inference [0, {self.total_cycles})"
+            )
+        for window in self._windows:
+            if window.contains(cycle):
+                return window
+        return None
+
+    def ops_at(self, cycle: int) -> Tuple[Optional[LayerWindow], Tuple[int, int]]:
+        """The (window, op range) issued at an absolute cycle."""
+        window = self.layer_at(cycle)
+        if window is None:
+            return None, (0, 0)
+        return window, window.plan.ops_at_cycle(cycle - window.start_cycle)
+
+    # -- reporting ----------------------------------------------------------
+
+    def durations_s(self, victim_frequency_hz: float) -> Dict[str, float]:
+        """Per-layer execution time in seconds."""
+        return {
+            w.plan.name: w.cycles / victim_frequency_hz for w in self._windows
+        }
+
+    def summary(self) -> str:
+        lines = [f"Accelerator schedule ({self.total_cycles} cycles/inference):"]
+        for w in self._windows:
+            lines.append(
+                f"  {w.plan.name:<7} {w.plan.kind:<5} ops={w.plan.ops:>7} "
+                f"lanes={w.plan.lanes:>2} cycles=[{w.start_cycle}, {w.end_cycle})"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,25 @@
+"""Analysis helpers: metrics, report tables, and the experiment registry."""
+
+from .metrics import accuracy_drop_series, monotone_fraction, series_auc
+from .reports import fixed_table, markdown_table
+from .experiments import EXPERIMENTS, Experiment, experiment
+from .ascii_plot import bar_chart, line_chart, sparkline
+from .confusion import ClassFlow, attack_class_flow, confusion_matrix, per_class_recall
+
+__all__ = [
+    "EXPERIMENTS",
+    "Experiment",
+    "ClassFlow",
+    "accuracy_drop_series",
+    "attack_class_flow",
+    "bar_chart",
+    "confusion_matrix",
+    "experiment",
+    "fixed_table",
+    "line_chart",
+    "markdown_table",
+    "monotone_fraction",
+    "per_class_recall",
+    "series_auc",
+    "sparkline",
+]

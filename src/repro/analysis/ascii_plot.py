@@ -1,0 +1,72 @@
+"""Terminal plotting: sparklines and block charts for traces and curves.
+
+The examples render TDC traces and accuracy curves without any plotting
+dependency — useful over SSH and in CI logs, which is also how one would
+eyeball the real attack's sensor stream.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigError
+
+__all__ = ["sparkline", "line_chart", "bar_chart"]
+
+_SPARK_LEVELS = " .:-=+*#%@"
+
+
+def sparkline(values: Sequence[float], width: int = 100) -> str:
+    """One-line density plot of a series, resampled to ``width`` chars."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ConfigError("nothing to plot")
+    if arr.size > width:
+        edges = np.linspace(0, arr.size, width + 1).astype(int)
+        arr = np.array([arr[a:b].mean() for a, b in zip(edges, edges[1:])])
+    lo, hi = float(arr.min()), float(arr.max())
+    span = hi - lo if hi > lo else 1.0
+    idx = ((arr - lo) / span * (len(_SPARK_LEVELS) - 1)).astype(int)
+    return "".join(_SPARK_LEVELS[k] for k in idx)
+
+
+def line_chart(values: Sequence[float], height: int = 12, width: int = 100,
+               title: Optional[str] = None) -> str:
+    """Multi-row block chart of one series (y grows upward)."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ConfigError("nothing to plot")
+    if arr.size > width:
+        edges = np.linspace(0, arr.size, width + 1).astype(int)
+        arr = np.array([arr[a:b].mean() for a, b in zip(edges, edges[1:])])
+    lo, hi = float(arr.min()), float(arr.max())
+    span = hi - lo if hi > lo else 1.0
+    rows = []
+    levels = np.rint((arr - lo) / span * (height - 1)).astype(int)
+    for row in range(height - 1, -1, -1):
+        line = "".join("█" if lvl >= row else " " for lvl in levels)
+        rows.append(line)
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(f"{hi:10.3f} ┐")
+    out.extend("           │" + r for r in rows)
+    out.append(f"{lo:10.3f} ┘")
+    return "\n".join(out)
+
+
+def bar_chart(labels: Sequence[str], values: Sequence[float],
+              width: int = 50, unit: str = "") -> str:
+    """Horizontal bar chart with labels."""
+    if len(labels) != len(values):
+        raise ConfigError("labels and values must align")
+    arr = np.asarray(values, dtype=np.float64)
+    top = float(arr.max()) if arr.size and arr.max() > 0 else 1.0
+    label_width = max((len(str(l)) for l in labels), default=1)
+    lines = []
+    for label, value in zip(labels, arr):
+        bar = "█" * max(0, int(round(value / top * width)))
+        lines.append(f"{str(label):>{label_width}} │{bar} {value:g}{unit}")
+    return "\n".join(lines)

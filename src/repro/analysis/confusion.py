@@ -1,0 +1,103 @@
+"""Per-class damage analysis: confusion matrices under attack.
+
+The paper reports aggregate accuracy; downstream users of an integrity
+attack usually care *which* classes break.  These helpers quantify the
+damage structure: the confusion matrix, per-class recall, and the
+class-flow induced by an attack (which (true, clean-pred, attacked-pred)
+transitions the strikes create).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError
+
+__all__ = ["confusion_matrix", "per_class_recall", "ClassFlow",
+           "attack_class_flow"]
+
+
+def confusion_matrix(labels: np.ndarray, predictions: np.ndarray,
+                     n_classes: int = 10) -> np.ndarray:
+    """Counts matrix ``C[true, predicted]``."""
+    y = np.asarray(labels)
+    p = np.asarray(predictions)
+    if y.shape != p.shape or y.ndim != 1:
+        raise ConfigError("labels and predictions must be matching 1-D")
+    if y.size and (y.min() < 0 or y.max() >= n_classes
+                   or p.min() < 0 or p.max() >= n_classes):
+        raise ConfigError("class index out of range")
+    matrix = np.zeros((n_classes, n_classes), dtype=np.int64)
+    np.add.at(matrix, (y, p), 1)
+    return matrix
+
+
+def per_class_recall(matrix: np.ndarray) -> np.ndarray:
+    """Recall per true class (NaN for classes absent from the data)."""
+    m = np.asarray(matrix, dtype=np.float64)
+    totals = m.sum(axis=1)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        return np.where(totals > 0, np.diag(m) / totals, np.nan)
+
+
+@dataclass(frozen=True)
+class ClassFlow:
+    """How an attack moved predictions around."""
+
+    broken: int          # clean-correct -> attacked-wrong
+    healed: int          # clean-wrong -> attacked-correct (noise artifact)
+    unchanged_correct: int
+    unchanged_wrong: int
+    worst_class: int     # true class losing the most recall
+    worst_class_drop: float
+    top_transitions: Tuple[Tuple[int, int, int], ...]  # (from, to, count)
+
+    @property
+    def net_damage(self) -> int:
+        return self.broken - self.healed
+
+
+def attack_class_flow(labels: np.ndarray, clean_preds: np.ndarray,
+                      attacked_preds: np.ndarray,
+                      n_classes: int = 10,
+                      top_k: int = 5) -> ClassFlow:
+    """Summarize the misclassification flow an attack induced."""
+    y = np.asarray(labels)
+    c = np.asarray(clean_preds)
+    a = np.asarray(attacked_preds)
+    if not (y.shape == c.shape == a.shape) or y.ndim != 1:
+        raise ConfigError("inputs must be matching 1-D arrays")
+
+    clean_ok = c == y
+    attacked_ok = a == y
+    broken = int(np.count_nonzero(clean_ok & ~attacked_ok))
+    healed = int(np.count_nonzero(~clean_ok & attacked_ok))
+    unchanged_correct = int(np.count_nonzero(clean_ok & attacked_ok))
+    unchanged_wrong = int(np.count_nonzero(~clean_ok & ~attacked_ok))
+
+    clean_recall = per_class_recall(confusion_matrix(y, c, n_classes))
+    attacked_recall = per_class_recall(confusion_matrix(y, a, n_classes))
+    drops = np.nan_to_num(clean_recall - attacked_recall, nan=0.0)
+    worst = int(np.argmax(drops))
+
+    # Transitions among broken predictions: (clean pred, attacked pred).
+    moved = clean_ok & ~attacked_ok
+    transitions: Dict[Tuple[int, int], int] = {}
+    for frm, to in zip(c[moved], a[moved]):
+        key = (int(frm), int(to))
+        transitions[key] = transitions.get(key, 0) + 1
+    ranked = sorted(transitions.items(), key=lambda kv: -kv[1])[:top_k]
+    top = tuple((frm, to, count) for (frm, to), count in ranked)
+
+    return ClassFlow(
+        broken=broken,
+        healed=healed,
+        unchanged_correct=unchanged_correct,
+        unchanged_wrong=unchanged_wrong,
+        worst_class=worst,
+        worst_class_drop=float(drops[worst]),
+        top_transitions=top,
+    )

@@ -1,0 +1,43 @@
+"""Plain-text table rendering for bench output and EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+__all__ = ["fixed_table", "markdown_table"]
+
+
+def _stringify(rows: Sequence[Sequence]) -> List[List[str]]:
+    out = []
+    for row in rows:
+        out.append([
+            f"{cell:.4f}" if isinstance(cell, float) else str(cell)
+            for cell in row
+        ])
+    return out
+
+
+def fixed_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Monospace-aligned table (what the benches print)."""
+    cells = [_strip_list(headers)] + _stringify(rows)
+    widths = [max(len(r[c]) for r in cells) for c in range(len(headers))]
+    lines = []
+    for index, row in enumerate(cells):
+        lines.append("  ".join(r.rjust(w) for r, w in zip(row, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def markdown_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """GitHub-flavoured markdown table (pasted into EXPERIMENTS.md)."""
+    cells = _stringify(rows)
+    lines = ["| " + " | ".join(str(h) for h in headers) + " |"]
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in cells:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def _strip_list(headers: Sequence[str]) -> List[str]:
+    return [str(h) for h in headers]

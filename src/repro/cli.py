@@ -1,0 +1,307 @@
+"""Command-line interface: drive the reproduction without writing code.
+
+Subcommands::
+
+    python -m repro train           # train & cache the victim LeNet-5
+    python -m repro summary         # victim model + accelerator schedule
+    python -m repro profile         # side-channel layer profiling
+    python -m repro attack          # plan & execute one strike campaign
+    python -m repro characterize    # the Fig 6(b) DSP fault sweep
+    python -m repro scan            # DRC + bitstream scan of attack RTL
+    python -m repro report          # regenerate headline results -> markdown
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from .analysis import bar_chart, fixed_table, markdown_table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DeepStrike (DAC 2021) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    train = sub.add_parser("train", help="train & cache the victim model")
+    train.add_argument("--force", action="store_true",
+                       help="retrain even if cached")
+
+    sub.add_parser("summary", help="print victim and schedule summaries")
+
+    profile = sub.add_parser("profile", help="profile the victim's layers "
+                                             "through the TDC side channel")
+    profile.add_argument("--traces", type=int, default=3)
+    profile.add_argument("--background", action="store_true",
+                         help="add a bursty third tenant during profiling")
+
+    attack = sub.add_parser("attack", help="plan and execute a strike "
+                                           "campaign")
+    attack.add_argument("--layer", default="conv2",
+                        help="target layer (or 'blind' for the baseline)")
+    attack.add_argument("--strikes", type=int, default=4500)
+    attack.add_argument("--cells", type=int, default=5000,
+                        help="striker bank size")
+    attack.add_argument("--images", type=int, default=200,
+                        help="evaluation subset size")
+    attack.add_argument("--seed", type=int, default=1)
+
+    charac = sub.add_parser("characterize",
+                            help="DSP fault rates vs striker cells (Fig 6b)")
+    charac.add_argument("--cells", type=int, nargs="+",
+                        default=[4000, 8000, 12000, 16000, 20000, 24000])
+    charac.add_argument("--trials", type=int, default=10_000)
+
+    sub.add_parser("scan", help="DRC + bitstream scan of the attack circuits")
+
+    report = sub.add_parser("report", help="regenerate headline results")
+    report.add_argument("-o", "--output", default=None,
+                        help="write markdown to this file (default stdout)")
+    report.add_argument("--images", type=int, default=120)
+
+    campaign = sub.add_parser("campaign",
+                              help="run the full Fig 5(b) study and "
+                                   "persist it as JSON")
+    campaign.add_argument("-o", "--output", default="campaign.json")
+    campaign.add_argument("--images", type=int, default=120)
+    campaign.add_argument("--seed", type=int, default=1)
+    campaign.add_argument("--show", default=None, metavar="JSON",
+                          help="instead of running, print a saved campaign")
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# Subcommand implementations
+# ---------------------------------------------------------------------------
+
+
+def _cmd_train(args) -> int:
+    from .zoo import get_pretrained
+
+    victim = get_pretrained(force_retrain=args.force)
+    print(victim.summary())
+    return 0
+
+
+def _cmd_summary(args) -> int:
+    from .accel import AcceleratorEngine
+    from .nn.model import LENET5_INPUT_SHAPE
+    from .zoo import get_pretrained
+
+    victim = get_pretrained()
+    print(victim.summary())
+    print()
+    print(victim.model.summary(LENET5_INPUT_SHAPE))
+    print()
+    engine = AcceleratorEngine(victim.quantized)
+    print(engine.schedule.summary())
+    return 0
+
+
+def _sensor_and_attack(seed: int, cells: int):
+    from .accel import AcceleratorEngine
+    from .core import DeepStrike
+    from .sensors import GateDelayModel, TDCSensor
+    from .sensors.calibration import theta_for_target
+    from .zoo import get_pretrained
+
+    victim = get_pretrained()
+    engine = AcceleratorEngine(victim.quantized,
+                               rng=np.random.default_rng(seed))
+    attack = DeepStrike(engine, bank_cells=cells,
+                        rng=np.random.default_rng(seed + 1))
+    delay_model = GateDelayModel(engine.config.delay)
+    theta = theta_for_target(engine.config.tdc, delay_model, voltage=0.9867)
+    sensor = TDCSensor(engine.config.tdc, delay_model, theta,
+                       rng=np.random.default_rng(seed + 2))
+    return victim, engine, attack, sensor
+
+
+def _cmd_profile(args) -> int:
+    from .core import SideChannelProfiler
+    from .fpga import BackgroundActivity
+
+    _, _, attack, sensor = _sensor_and_attack(seed=11, cells=5000)
+    background = BackgroundActivity() if args.background else None
+    library = attack.profile_victim(sensor, nominal_readout=92,
+                                    n_traces=args.traces,
+                                    background=background)
+    print(SideChannelProfiler.library_summary(library))
+    return 0
+
+
+def _cmd_attack(args) -> int:
+    from .core import BlindAttack
+
+    victim, engine, attack, _ = _sensor_and_attack(args.seed, args.cells)
+    images = victim.dataset.test_images[:args.images]
+    labels = victim.dataset.test_labels[:args.images]
+
+    if args.layer == "blind":
+        blind = BlindAttack(engine, bank_cells=args.cells,
+                            rng=np.random.default_rng(args.seed + 3))
+        plan = blind.plan_random(args.strikes)
+        outcome = blind.execute(images, labels, plan)
+    else:
+        plan = attack.plan_for_layer(args.layer, args.strikes)
+        outcome = attack.execute(images, labels, plan)
+
+    print(fixed_table(
+        ["target", "strikes", "landed", "volts", "clean", "attacked",
+         "drop"],
+        [[outcome.target_layer, outcome.n_strikes, outcome.strikes_landed,
+          round(outcome.mean_strike_voltage, 4),
+          round(outcome.clean_accuracy, 4),
+          round(outcome.attacked_accuracy, 4),
+          round(outcome.accuracy_drop, 4)]],
+    ))
+    return 0
+
+
+def _cmd_characterize(args) -> int:
+    from .dsp import FaultCharacterization
+
+    harness = FaultCharacterization(seed=7)
+    sweep = harness.sweep(args.cells, trials=args.trials)
+    print(fixed_table(
+        ["cells", "v_strike", "duplication", "random", "total"],
+        [[r.n_cells, round(harness.strike_voltage(r.n_cells), 4),
+          round(r.duplication_rate, 3), round(r.random_rate, 3),
+          round(r.total_rate, 3)] for r in sweep],
+    ))
+    print()
+    print(bar_chart([str(r.n_cells) for r in sweep],
+                    [round(r.total_rate, 3) for r in sweep], width=40))
+    return 0
+
+
+def _cmd_scan(args) -> int:
+    from .config import default_config
+    from .defense import BitstreamScanner
+    from .fpga import DesignRuleChecker
+    from .fpga.netlist import Netlist
+    from .sensors import build_tdc_netlist
+    from .striker import build_ro_cell_netlist, build_striker_cell_netlist
+
+    config = default_config()
+    drc = DesignRuleChecker()
+    scanner = BitstreamScanner()
+    bank = Netlist("striker_bank")
+    for k in range(64):
+        build_striker_cell_netlist(k, netlist=bank)
+    designs = [
+        ("striker bank (64 cells)", bank),
+        ("ring oscillator", build_ro_cell_netlist()),
+        ("TDC sensor", build_tdc_netlist(config.tdc)),
+    ]
+    for name, netlist in designs:
+        report = drc.check(netlist)
+        scan = scanner.scan(netlist)
+        print(f"== {name} ==")
+        print(f"vendor DRC: {'PASS' if report.passed else 'FAIL'}")
+        print(scan.summary())
+        print()
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .core import BlindAttack
+    from .dsp import FaultCharacterization
+
+    victim, engine, attack, sensor = _sensor_and_attack(seed=21, cells=5000)
+    images = victim.dataset.test_images[:args.images]
+    labels = victim.dataset.test_labels[:args.images]
+
+    lines: List[str] = ["# DeepStrike reproduction report", ""]
+    lines += ["## Clean operating point (E5)", "",
+              markdown_table(["model", "accuracy"],
+                             [["float32", victim.float_accuracy],
+                              ["Q3.4", victim.quantized_accuracy],
+                              ["paper", 0.9617]]), ""]
+
+    harness = FaultCharacterization(seed=5)
+    sweep = harness.sweep([8000, 16000, 24000], trials=4000)
+    lines += ["## DSP fault rates (E4 / Fig 6b)", "",
+              markdown_table(
+                  ["cells", "duplication", "random", "total"],
+                  [[r.n_cells, r.duplication_rate, r.random_rate,
+                    r.total_rate] for r in sweep]), ""]
+
+    rows = []
+    for layer, strikes in (("conv2", 4500), ("conv1", 3000),
+                           ("fc1", 4500), ("pool1", 140)):
+        plan = attack.plan_for_layer(layer, strikes)
+        outcome = attack.execute(images, labels, plan)
+        rows.append([layer, strikes, outcome.attacked_accuracy,
+                     outcome.accuracy_drop])
+    blind = BlindAttack(engine, bank_cells=5000,
+                        rng=np.random.default_rng(33))
+    outcome = blind.execute(images, labels, blind.plan_random(4500))
+    rows.append(["blind", 4500, outcome.attacked_accuracy,
+                 outcome.accuracy_drop])
+    lines += ["## Accuracy under attack (E3 / Fig 5b)", "",
+              f"clean accuracy: {outcome.clean_accuracy:.4f}", "",
+              markdown_table(["target", "strikes", "accuracy", "drop"],
+                             rows), ""]
+
+    text = "\n".join(lines)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_campaign(args) -> int:
+    from .core import load_campaign
+    from .core.campaign import CampaignSpec, run_campaign, save_campaign
+    from .core.evaluation import sweep_to_rows
+
+    if args.show:
+        result = load_campaign(args.show)
+    else:
+        import dataclasses
+
+        victim, _, attack, _ = _sensor_and_attack(args.seed, 5500)
+        spec = dataclasses.replace(CampaignSpec.fig5b_default(),
+                                   eval_images=args.images, seed=args.seed)
+        result = run_campaign(attack, victim.dataset.test_images,
+                              victim.dataset.test_labels, spec)
+        save_campaign(result, args.output)
+        print(f"campaign written to {args.output}")
+    print(f"clean accuracy: {result.clean_accuracy:.4f}")
+    print(sweep_to_rows(result.sweeps))
+    print(f"most sensitive target: {result.most_sensitive_target()}")
+    return 0
+
+
+_COMMANDS = {
+    "train": _cmd_train,
+    "summary": _cmd_summary,
+    "profile": _cmd_profile,
+    "attack": _cmd_attack,
+    "characterize": _cmd_characterize,
+    "scan": _cmd_scan,
+    "report": _cmd_report,
+    "campaign": _cmd_campaign,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

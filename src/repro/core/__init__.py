@@ -1,0 +1,59 @@
+"""DeepStrike itself: the paper's primary contribution.
+
+The attack stack, bottom to top:
+
+* :mod:`~repro.core.scheme` — the *attacking scheme file*: attack delay /
+  attack period / number of attacks encoded as a bit vector,
+* :mod:`~repro.core.signal_ram` — the BRAM that replays that bit vector
+  at ``f_sRAM``, driving the striker's Start signal,
+* :mod:`~repro.core.start_detector` — the FSM watching five TDC zone
+  bits; a Hamming-weight drop marks the victim DNN starting,
+* :mod:`~repro.core.profiler` — builds the per-layer signature library
+  from TDC traces of victim inferences,
+* :mod:`~repro.core.scheduler` — the closed-loop attacker tenant wiring
+  sensor -> detector -> signal RAM -> striker bank on the live board,
+* :mod:`~repro.core.attack` — the DeepStrike planner/orchestrator
+  (profile, plan, compute strike voltages, execute, evaluate),
+* :mod:`~repro.core.blind` — the unguided baseline attack of Fig 5(b),
+* :mod:`~repro.core.remote` — the UART-style remote guidance channel.
+"""
+
+from .scheme import AttackScheme
+from .signal_ram import SignalRAM
+from .start_detector import DetectorState, DNNStartDetector
+from .profiler import LayerSignature, SideChannelProfiler
+from .scheduler import AttackScheduler
+from .attack import AttackPlan, DeepStrike
+from .blind import BlindAttack
+from .campaign import (
+    CampaignResult,
+    CampaignSpec,
+    load_campaign,
+    run_campaign,
+    save_campaign,
+)
+from .remote import RemoteAttacker, UARTLink
+from .evaluation import AttackOutcome, LayerSweepResult, sweep_to_rows
+
+__all__ = [
+    "AttackOutcome",
+    "AttackPlan",
+    "AttackScheduler",
+    "AttackScheme",
+    "BlindAttack",
+    "CampaignResult",
+    "CampaignSpec",
+    "DeepStrike",
+    "DetectorState",
+    "DNNStartDetector",
+    "LayerSignature",
+    "LayerSweepResult",
+    "RemoteAttacker",
+    "SideChannelProfiler",
+    "SignalRAM",
+    "UARTLink",
+    "load_campaign",
+    "run_campaign",
+    "save_campaign",
+    "sweep_to_rows",
+]

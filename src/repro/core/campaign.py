@@ -1,0 +1,172 @@
+"""Campaign orchestration: structured attack studies with persistence.
+
+A *campaign* is the full Fig 5(b)-style study — several targets, several
+strike counts, a blind baseline — executed once and persisted as JSON so
+reports and notebooks can consume the numbers without re-simulation.
+The CLI's ``report`` subcommand and downstream analyses build on this.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError
+from .attack import DeepStrike
+from .blind import BlindAttack
+from .evaluation import AttackOutcome, LayerSweepResult
+
+__all__ = ["CampaignSpec", "CampaignResult", "run_campaign",
+           "save_campaign", "load_campaign"]
+
+FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """What to run: per-target strike counts plus the baseline."""
+
+    sweeps: Tuple[Tuple[str, Tuple[int, ...]], ...]
+    blind_counts: Tuple[int, ...] = ()
+    eval_images: int = 120
+    bank_cells: Optional[int] = None  # None: the attack's default
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.sweeps:
+            raise ConfigError("a campaign needs at least one target sweep")
+        for layer, counts in self.sweeps:
+            if not counts:
+                raise ConfigError(f"target '{layer}' has no strike counts")
+            if list(counts) != sorted(counts):
+                raise ConfigError(
+                    f"strike counts for '{layer}' must be increasing"
+                )
+        if self.eval_images < 1:
+            raise ConfigError("eval_images must be >= 1")
+
+    @classmethod
+    def fig5b_default(cls) -> "CampaignSpec":
+        """The default Fig 5(b) study on the LeNet-5 victim."""
+        return cls(
+            sweeps=(
+                ("conv1", (500, 1000, 1500, 1800)),
+                ("conv2", (500, 1500, 3000, 4500)),
+                ("fc1", (500, 1500, 3000, 4500)),
+                ("pool1", (40, 90, 140)),
+            ),
+            blind_counts=(1500, 4500),
+        )
+
+
+@dataclass
+class CampaignResult:
+    """Everything a campaign measured."""
+
+    spec: CampaignSpec
+    clean_accuracy: float
+    sweeps: List[LayerSweepResult] = field(default_factory=list)
+
+    def sweep(self, target: str) -> LayerSweepResult:
+        for s in self.sweeps:
+            if s.target_layer == target:
+                return s
+        raise ConfigError(f"no sweep for target '{target}'")
+
+    def max_drops(self) -> Dict[str, float]:
+        return {s.target_layer: s.max_drop for s in self.sweeps}
+
+    def most_sensitive_target(self) -> str:
+        return max(self.sweeps, key=lambda s: s.max_drop).target_layer
+
+
+def run_campaign(attack: DeepStrike, images: np.ndarray,
+                 labels: np.ndarray,
+                 spec: Optional[CampaignSpec] = None) -> CampaignResult:
+    """Execute a campaign with the given attacker."""
+    plan_spec = spec or CampaignSpec.fig5b_default()
+    n = min(plan_spec.eval_images, images.shape[0])
+    images = images[:n]
+    labels = labels[:n]
+
+    clean = float(
+        (attack.engine.predict_clean(images) == labels).mean()
+    )
+    result = CampaignResult(spec=plan_spec, clean_accuracy=clean)
+    for layer, counts in plan_spec.sweeps:
+        sweep = LayerSweepResult(layer)
+        for count in counts:
+            plan = attack.plan_for_layer(layer, count)
+            sweep.outcomes.append(attack.execute(images, labels, plan))
+        result.sweeps.append(sweep)
+    if plan_spec.blind_counts:
+        blind = BlindAttack(attack.engine, bank_cells=attack.bank_cells,
+                            rng=np.random.default_rng(plan_spec.seed + 1))
+        sweep = LayerSweepResult("blind")
+        for count in plan_spec.blind_counts:
+            sweep.outcomes.append(
+                blind.execute(images, labels, blind.plan_random(count))
+            )
+        result.sweeps.append(sweep)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Persistence
+# ---------------------------------------------------------------------------
+
+
+def save_campaign(result: CampaignResult, path) -> None:
+    """Write a campaign result as JSON."""
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "spec": {
+            "sweeps": [[layer, list(counts)]
+                       for layer, counts in result.spec.sweeps],
+            "blind_counts": list(result.spec.blind_counts),
+            "eval_images": result.spec.eval_images,
+            "bank_cells": result.spec.bank_cells,
+            "seed": result.spec.seed,
+        },
+        "clean_accuracy": result.clean_accuracy,
+        "sweeps": [
+            {
+                "target_layer": s.target_layer,
+                "outcomes": [asdict(o) for o in s.outcomes],
+            }
+            for s in result.sweeps
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def load_campaign(path) -> CampaignResult:
+    """Read a campaign result back from JSON."""
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ConfigError(
+            f"campaign file format {version!r} unsupported "
+            f"(expected {FORMAT_VERSION})"
+        )
+    raw_spec = payload["spec"]
+    spec = CampaignSpec(
+        sweeps=tuple((layer, tuple(counts))
+                     for layer, counts in raw_spec["sweeps"]),
+        blind_counts=tuple(raw_spec["blind_counts"]),
+        eval_images=raw_spec["eval_images"],
+        bank_cells=raw_spec["bank_cells"],
+        seed=raw_spec["seed"],
+    )
+    result = CampaignResult(spec=spec,
+                            clean_accuracy=payload["clean_accuracy"])
+    for sweep_data in payload["sweeps"]:
+        sweep = LayerSweepResult(sweep_data["target_layer"])
+        for raw in sweep_data["outcomes"]:
+            sweep.outcomes.append(AttackOutcome(**raw))
+        result.sweeps.append(sweep)
+    return result

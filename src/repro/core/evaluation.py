@@ -1,0 +1,64 @@
+"""Attack outcome records and sweep tabulation (Fig 5b's data)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+__all__ = ["AttackOutcome", "LayerSweepResult", "sweep_to_rows"]
+
+
+@dataclass(frozen=True)
+class AttackOutcome:
+    """One (target layer, strike count) evaluation."""
+
+    target_layer: str
+    n_strikes: int
+    strikes_landed: int
+    clean_accuracy: float
+    attacked_accuracy: float
+    mean_strike_voltage: float
+
+    @property
+    def accuracy_drop(self) -> float:
+        """Absolute accuracy loss versus the clean model."""
+        return self.clean_accuracy - self.attacked_accuracy
+
+
+@dataclass
+class LayerSweepResult:
+    """Accuracy-vs-strike-count series for one target (a Fig 5b curve)."""
+
+    target_layer: str
+    outcomes: List[AttackOutcome] = field(default_factory=list)
+
+    @property
+    def strike_counts(self) -> List[int]:
+        return [o.n_strikes for o in self.outcomes]
+
+    @property
+    def accuracies(self) -> List[float]:
+        return [o.attacked_accuracy for o in self.outcomes]
+
+    @property
+    def max_drop(self) -> float:
+        return max((o.accuracy_drop for o in self.outcomes), default=0.0)
+
+
+def sweep_to_rows(results: Sequence[LayerSweepResult]) -> str:
+    """Fixed-width table of accuracy versus strikes, one row per count,
+    one column per target — the series Fig 5(b) plots."""
+    counts = sorted({c for r in results for c in r.strike_counts})
+    header = "strikes  " + "  ".join(f"{r.target_layer:>10}" for r in results)
+    lines = [header]
+    lookup: Dict[str, Dict[int, float]] = {
+        r.target_layer: dict(zip(r.strike_counts, r.accuracies))
+        for r in results
+    }
+    for count in counts:
+        cells = []
+        for r in results:
+            value = lookup[r.target_layer].get(count)
+            cells.append(f"{value:10.4f}" if value is not None else " " * 10)
+        lines.append(f"{count:>7}  " + "  ".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,170 @@
+"""The remote guidance channel (UART in the paper's prototype).
+
+The adversary connects from off-chip, downloads sensor traces, and
+uploads attacking scheme files at run time.  We model the *logical*
+channel at message level with a small framed protocol (start byte,
+opcode, length, payload, additive checksum) so framing and corruption
+handling are real, while byte timing — irrelevant to the attack — is not
+simulated.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ReproError
+from .scheme import AttackScheme
+from .scheduler import AttackScheduler
+
+__all__ = ["UARTLink", "RemoteAttacker", "FrameError"]
+
+SOF = 0xA5
+
+OP_LOAD_SCHEME = 0x01
+OP_READ_TRACE = 0x02
+OP_TRACE_DATA = 0x82
+OP_ACK = 0x80
+OP_NAK = 0x81
+
+
+class FrameError(ReproError):
+    """A malformed or corrupted frame was received."""
+
+
+def encode_frame(opcode: int, payload: bytes) -> bytes:
+    """``SOF | opcode | len(2B LE) | payload | checksum``.
+
+    The checksum is the low byte of the sum over opcode+length+payload —
+    the scheme the prototype's 8-bit microcontroller-class UART uses.
+    """
+    if not 0 <= opcode <= 0xFF:
+        raise FrameError(f"opcode {opcode} out of range")
+    if len(payload) > 0xFFFF:
+        raise FrameError("payload too long for a 16-bit length field")
+    body = bytes([opcode]) + struct.pack("<H", len(payload)) + payload
+    checksum = sum(body) & 0xFF
+    return bytes([SOF]) + body + bytes([checksum])
+
+
+def decode_frame(data: bytes) -> Tuple[int, bytes]:
+    """Inverse of :func:`encode_frame`; raises :class:`FrameError` on any
+    corruption (bad SOF, short frame, length mismatch, bad checksum)."""
+    if len(data) < 5:
+        raise FrameError("frame shorter than the minimum 5 bytes")
+    if data[0] != SOF:
+        raise FrameError(f"bad start-of-frame byte 0x{data[0]:02x}")
+    opcode = data[1]
+    (length,) = struct.unpack("<H", data[2:4])
+    if len(data) != 5 + length:
+        raise FrameError(
+            f"length field says {length}, frame carries {len(data) - 5}"
+        )
+    payload = data[4:4 + length]
+    checksum = sum(data[1:4 + length]) & 0xFF
+    if checksum != data[-1]:
+        raise FrameError("checksum mismatch")
+    return opcode, payload
+
+
+class UARTLink:
+    """A bidirectional in-memory serial link (host end + device end)."""
+
+    def __init__(self) -> None:
+        self._to_device: Deque[bytes] = deque()
+        self._to_host: Deque[bytes] = deque()
+
+    # host side
+    def host_send(self, frame: bytes) -> None:
+        self._to_device.append(frame)
+
+    def host_recv(self) -> Optional[bytes]:
+        return self._to_host.popleft() if self._to_host else None
+
+    # device side
+    def device_send(self, frame: bytes) -> None:
+        self._to_host.append(frame)
+
+    def device_recv(self) -> Optional[bytes]:
+        return self._to_device.popleft() if self._to_device else None
+
+
+class RemoteAttacker:
+    """The adversary's host-side client plus the on-chip frame handler.
+
+    >>> from repro.core.remote import RemoteAttacker, UARTLink
+    """
+
+    def __init__(self, link: UARTLink, scheduler: AttackScheduler) -> None:
+        self.link = link
+        self.scheduler = scheduler
+
+    # -- host-side API ----------------------------------------------------------
+
+    def upload_scheme(self, scheme: AttackScheme) -> bool:
+        """Send a scheme to the device; returns True on ACK."""
+        payload = struct.pack(
+            "<IIII",
+            scheme.attack_delay,
+            scheme.attack_period,
+            scheme.number_of_attacks,
+            scheme.strike_cycles,
+        )
+        self.link.host_send(encode_frame(OP_LOAD_SCHEME, payload))
+        self.service_device()
+        reply = self.link.host_recv()
+        if reply is None:
+            return False
+        opcode, _ = decode_frame(reply)
+        return opcode == OP_ACK
+
+    def download_trace(self, max_samples: int = 4096) -> np.ndarray:
+        """Fetch the most recent sensor readouts from the device."""
+        payload = struct.pack("<I", max_samples)
+        self.link.host_send(encode_frame(OP_READ_TRACE, payload))
+        self.service_device()
+        reply = self.link.host_recv()
+        if reply is None:
+            raise FrameError("no trace reply from the device")
+        opcode, data = decode_frame(reply)
+        if opcode != OP_TRACE_DATA:
+            raise FrameError(f"unexpected reply opcode 0x{opcode:02x}")
+        return np.frombuffer(data, dtype=np.uint8).astype(np.int64)
+
+    # -- device-side servicing ----------------------------------------------------------
+
+    def service_device(self) -> None:
+        """Process every pending host frame on the device side."""
+        while True:
+            raw = self.link.device_recv()
+            if raw is None:
+                return
+            try:
+                opcode, payload = decode_frame(raw)
+            except FrameError:
+                self.link.device_send(encode_frame(OP_NAK, b""))
+                continue
+            if opcode == OP_LOAD_SCHEME and len(payload) == 16:
+                delay, period, count, width = struct.unpack("<IIII", payload)
+                try:
+                    scheme = AttackScheme(
+                        attack_delay=delay,
+                        attack_period=period,
+                        number_of_attacks=count,
+                        strike_cycles=width,
+                    )
+                    self.scheduler.load_scheme(scheme)
+                except ReproError:
+                    self.link.device_send(encode_frame(OP_NAK, b""))
+                    continue
+                self.link.device_send(encode_frame(OP_ACK, b""))
+            elif opcode == OP_READ_TRACE and len(payload) == 4:
+                (max_samples,) = struct.unpack("<I", payload)
+                trace = self.scheduler.readout_trace()[-max_samples:]
+                clipped = np.clip(trace, 0, 255).astype(np.uint8).tobytes()
+                self.link.device_send(encode_frame(OP_TRACE_DATA, clipped))
+            else:
+                self.link.device_send(encode_frame(OP_NAK, b""))

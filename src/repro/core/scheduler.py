@@ -1,0 +1,116 @@
+"""The closed-loop attack scheduler tenant (paper Fig 4).
+
+This is the attacker's on-chip control plane: a TDC delay sensor samples
+the shared rail every tick, the DNN start detector watches the zone
+word, and once it fires the signal RAM replays the attacking scheme
+file, bit-by-bit, into the striker bank's Start signal.
+
+As a :class:`~repro.fpga.Tenant` it participates in the board's
+streaming co-simulation, which is how the quickstart example and the
+integration tests demonstrate the full remote attack loop end to end.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..config import SimulationConfig
+from ..errors import SchedulerError
+from ..fpga.resources import ResourceBudget
+from ..fpga.tenancy import Tenant
+from ..sensors.delay import GateDelayModel
+from ..sensors.tdc import TDCSensor, build_tdc_netlist
+from ..striker.bank import StrikerBank
+from .scheme import AttackScheme
+from .signal_ram import SignalRAM
+from .start_detector import DNNStartDetector
+
+__all__ = ["AttackScheduler"]
+
+#: Sensor + FSM + BRAM controller supply current, amps.
+_CONTROL_CURRENT = 1.5e-3
+
+
+class AttackScheduler(Tenant):
+    """Sensor -> detector -> signal RAM -> striker Start, in one tenant."""
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        bank: StrikerBank,
+        theta: float,
+        detector: Optional[DNNStartDetector] = None,
+        rng: Optional[np.random.Generator] = None,
+        name: str = "attack_scheduler",
+    ) -> None:
+        config.validate()
+        self.sim_config = config
+        self.bank = bank
+        delay_model = GateDelayModel(config.delay)
+        self.sensor = TDCSensor(config.tdc, delay_model, theta, rng=rng)
+        self.detector = detector or DNNStartDetector(
+            l_carry=config.tdc.l_carry
+        )
+        self.signal_ram = SignalRAM()
+        netlist = build_tdc_netlist(config.tdc, name=f"{name}_tdc")
+        budget = ResourceBudget(
+            luts=netlist.lut_count() + 24,  # + detector FSM / encoder
+            flip_flops=netlist.ff_count() + 16,
+            bram_36k=self.signal_ram.bram_blocks,
+        )
+        super().__init__(name=name, budget=budget, netlist=netlist,
+                         region_width=10, region_height=10)
+        self._ticks_per_cycle = config.clock.ticks_per_victim_cycle
+        self._readouts: List[int] = []
+        self._trigger_tick: Optional[int] = None
+
+    # -- configuration ----------------------------------------------------------
+
+    def load_scheme(self, scheme: AttackScheme) -> None:
+        """Upload a new attacking scheme file (rewinds the replay)."""
+        self.signal_ram.load_scheme(scheme)
+
+    def reset(self) -> None:
+        self.detector.reset()
+        self.signal_ram.rewind()
+        self._readouts = []
+        self._trigger_tick = None
+        self.bank.set_start(False)
+
+    # -- tenant behaviour ----------------------------------------------------------
+
+    def current_draw(self, tick: int) -> float:
+        return _CONTROL_CURRENT
+
+    def on_voltage(self, tick: int, volts: float) -> None:
+        """One sensing/replay step per tick.
+
+        The TDC samples at the simulation (200 MHz) rate; the signal RAM
+        pointer advances at the victim-cycle (f_sRAM) rate.
+        """
+        readout = self.sensor.readout(volts)
+        self._readouts.append(readout)
+        if not self.signal_ram.armed:
+            if self.detector.observe_readout(readout):
+                if self.signal_ram.loaded_bits == 0:
+                    raise SchedulerError(
+                        "detector fired but no scheme is loaded"
+                    )
+                self.signal_ram.arm()
+                self._trigger_tick = tick
+        if tick % self._ticks_per_cycle == 0:
+            bit = self.signal_ram.read()
+            self.bank.set_start(bool(bit))
+
+    # -- observability ----------------------------------------------------------
+
+    @property
+    def trigger_tick(self) -> Optional[int]:
+        """Tick at which the detector fired (None if it has not)."""
+        return self._trigger_tick
+
+    def readout_trace(self) -> np.ndarray:
+        """Everything the sensor has seen (the remote host's download)."""
+        return np.asarray(self._readouts, dtype=np.int64)

@@ -1,0 +1,144 @@
+"""The DNN start detector (paper Section III-D.1, Fig 3).
+
+An FSM watches the 5-bit zone word sampled from the TDC's 128-bit
+capture.  At the calibrated idle point the word's Hamming weight is 4;
+small ambient wobbles do not move any zone tap, which is the
+"purification" the paper describes.  When a layer's droop begins, the
+top zone tap falls and the weight drops to 3 — sustained for a debounce
+interval, that is the trigger ("HW == 3 means the first layer just
+started").
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import SchedulerError
+from ..sensors.encoder import zone_bits_from_readout
+
+__all__ = ["DetectorState", "DNNStartDetector"]
+
+
+class DetectorState(enum.Enum):
+    IDLE = "idle"
+    ARMED = "armed"
+    TRIGGERED = "triggered"
+
+
+class DNNStartDetector:
+    """Debounced Hamming-weight trigger FSM.
+
+    Parameters
+    ----------
+    arm_hw:
+        The idle Hamming weight; observing it (debounced) arms the FSM.
+    trigger_hw:
+        Weights at or below this value indicate layer activity.
+    debounce:
+        Consecutive samples required for both arming and triggering —
+        the noise purification stage.
+    l_carry / zones / fraction:
+        Zone-sampling geometry (must match the sensor's encoder).
+    """
+
+    def __init__(
+        self,
+        arm_hw: int = 4,
+        trigger_hw: int = 3,
+        debounce: int = 3,
+        l_carry: int = 128,
+        zones: int = 5,
+        fraction: float = 0.55,
+    ) -> None:
+        if not 0 <= trigger_hw < arm_hw <= zones:
+            raise SchedulerError(
+                "need 0 <= trigger_hw < arm_hw <= zones "
+                f"(got {trigger_hw}, {arm_hw}, {zones})"
+            )
+        if debounce < 1:
+            raise SchedulerError("debounce must be >= 1")
+        self.arm_hw = arm_hw
+        self.trigger_hw = trigger_hw
+        self.debounce = debounce
+        self.l_carry = l_carry
+        self.zones = zones
+        self.fraction = fraction
+        self.reset()
+
+    def reset(self) -> None:
+        self.state = DetectorState.IDLE
+        self._streak = 0
+
+    # -- streaming interface ----------------------------------------------------------
+
+    def observe_word(self, word: np.ndarray) -> bool:
+        """Feed one 5-bit zone word; returns True on the trigger edge."""
+        hw = int(np.count_nonzero(word))
+        return self._advance(hw)
+
+    def observe_readout(self, readout: int) -> bool:
+        """Feed one ones-count readout (zone word derived internally)."""
+        word = zone_bits_from_readout(readout, self.l_carry, self.zones,
+                                      self.fraction)
+        return self.observe_word(word)
+
+    def _advance(self, hw: int) -> bool:
+        if self.state is DetectorState.IDLE:
+            if hw == self.arm_hw:
+                self._streak += 1
+                if self._streak >= self.debounce:
+                    self.state = DetectorState.ARMED
+                    self._streak = 0
+            else:
+                self._streak = 0
+        elif self.state is DetectorState.ARMED:
+            if hw <= self.trigger_hw:
+                self._streak += 1
+                if self._streak >= self.debounce:
+                    self.state = DetectorState.TRIGGERED
+                    self._streak = 0
+                    return True
+            else:
+                self._streak = 0
+        return False
+
+    # -- batch interface ----------------------------------------------------------
+
+    def find_trigger(self, readouts: np.ndarray,
+                     start: int = 0) -> Optional[int]:
+        """Index of the first trigger in a readout trace (None if never).
+
+        Resets the FSM first; the returned index is where the debounce
+        completed (i.e. trigger latency is included).
+        """
+        self.reset()
+        arr = np.asarray(readouts)
+        for k in range(start, arr.shape[0]):
+            if self.observe_readout(int(arr[k])):
+                return k
+        return None
+
+    def find_all_triggers(self, readouts: np.ndarray,
+                          rearm_gap: int = 64) -> List[int]:
+        """All triggers in a trace, re-arming ``rearm_gap`` samples after
+        each (multi-inference monitoring)."""
+        triggers: List[int] = []
+        cursor = 0
+        arr = np.asarray(readouts)
+        while cursor < arr.shape[0]:
+            hit = self.find_trigger(arr, start=cursor)
+            if hit is None:
+                break
+            triggers.append(hit)
+            cursor = hit + rearm_gap
+        return triggers
+
+    def detector_input_trace(self, readouts: np.ndarray) -> np.ndarray:
+        """The Hamming-weight stream the FSM sees (paper Fig 3's y-axis)."""
+        words = zone_bits_from_readout(
+            np.asarray(readouts), self.l_carry, self.zones, self.fraction
+        )
+        return words.sum(axis=-1)

@@ -1,0 +1,20 @@
+"""Datasets: a self-contained synthetic MNIST substitute.
+
+The paper trains/tests on MNIST.  This environment has no network
+access, so :mod:`repro.data.mnist_synth` renders a procedural handwritten
+-digit look-alike: stroke-skeleton glyphs for 0-9, rasterized at 28x28
+with random affine jitter, stroke-width variation, and sensor noise.
+LeNet-5 reaches the paper's ~96% operating point on it, which is what
+the attack experiments need (relative accuracy drops, not absolute
+MNIST scores).
+"""
+
+from .glyphs import DIGIT_STROKES, digit_strokes
+from .mnist_synth import SyntheticMNIST, render_digit
+
+__all__ = [
+    "DIGIT_STROKES",
+    "SyntheticMNIST",
+    "digit_strokes",
+    "render_digit",
+]

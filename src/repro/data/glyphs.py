@@ -1,0 +1,76 @@
+"""Stroke skeletons for the digits 0-9.
+
+Each glyph is a list of polylines ("strokes"); each polyline is an array
+of (x, y) points in the unit square with y growing downward.  The
+rasterizer inks a neighborhood of each stroke, so these skeletons only
+need to capture digit topology, not calligraphy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..errors import ConfigError
+
+__all__ = ["DIGIT_STROKES", "digit_strokes"]
+
+
+def _arc(cx: float, cy: float, rx: float, ry: float, start_deg: float,
+         end_deg: float, points: int = 24) -> np.ndarray:
+    """Elliptical arc polyline (degrees measured clockwise from +x, y down)."""
+    t = np.radians(np.linspace(start_deg, end_deg, points))
+    return np.column_stack([cx + rx * np.cos(t), cy + ry * np.sin(t)])
+
+
+def _line(x0: float, y0: float, x1: float, y1: float,
+          points: int = 12) -> np.ndarray:
+    t = np.linspace(0.0, 1.0, points)[:, None]
+    return np.array([[x0, y0]]) * (1 - t) + np.array([[x1, y1]]) * t
+
+
+DIGIT_STROKES: Dict[int, List[np.ndarray]] = {
+    0: [_arc(0.50, 0.50, 0.26, 0.38, 0, 360)],
+    1: [_line(0.38, 0.28, 0.54, 0.12), _line(0.54, 0.12, 0.54, 0.88)],
+    2: [
+        _arc(0.50, 0.30, 0.24, 0.18, 180, 360),
+        _line(0.74, 0.30, 0.28, 0.88),
+        _line(0.28, 0.88, 0.76, 0.88),
+    ],
+    3: [
+        _arc(0.48, 0.30, 0.22, 0.18, 150, 360),
+        _arc(0.48, 0.68, 0.24, 0.20, 0, 210),
+    ],
+    4: [
+        _line(0.62, 0.12, 0.28, 0.62),
+        _line(0.28, 0.62, 0.80, 0.62),
+        _line(0.64, 0.40, 0.64, 0.90),
+    ],
+    5: [
+        _line(0.72, 0.14, 0.34, 0.14),
+        _line(0.34, 0.14, 0.32, 0.48),
+        _arc(0.50, 0.66, 0.24, 0.22, 250, 420),
+    ],
+    6: [
+        _arc(0.56, 0.26, 0.26, 0.22, 180, 260),
+        _line(0.33, 0.33, 0.28, 0.62),
+        _arc(0.50, 0.68, 0.22, 0.20, 0, 360),
+    ],
+    7: [_line(0.26, 0.14, 0.76, 0.14), _line(0.76, 0.14, 0.44, 0.88)],
+    8: [
+        _arc(0.50, 0.32, 0.20, 0.18, 0, 360),
+        _arc(0.50, 0.70, 0.24, 0.20, 0, 360),
+    ],
+    9: [
+        _arc(0.50, 0.32, 0.22, 0.20, 0, 360),
+        _line(0.72, 0.36, 0.60, 0.88),
+    ],
+}
+
+
+def digit_strokes(digit: int) -> List[np.ndarray]:
+    """Strokes of ``digit`` (copies, safe to transform in place)."""
+    if digit not in DIGIT_STROKES:
+        raise ConfigError(f"no glyph for digit {digit}")
+    return [stroke.copy() for stroke in DIGIT_STROKES[digit]]

@@ -1,0 +1,181 @@
+"""Admission-time bitstream scanning (FPGADefender-style).
+
+Vendor DRC rejects combinational loops but waves latch-gated loops
+through — the gap DeepStrike's striker exploits.  The scanner closes it
+with three structural checks on the tenant netlist:
+
+* **latch-transparency loops** — cycles that appear once latches are
+  treated as transparent (the striker's oscillators),
+* **waster-bank signature** — one enable net fanning out to a large
+  number of latch gates (the shared Start net), and
+* **oscillator census** — the count of distinct potential oscillation
+  loops, which for a striker bank scales with its cell count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import networkx as nx
+
+from ..errors import ConfigError
+from ..fpga.netlist import Netlist
+from ..fpga.primitives import LDCE
+
+__all__ = ["ScanFinding", "ScanReport", "BitstreamScanner"]
+
+
+@dataclass(frozen=True)
+class ScanFinding:
+    """One suspicious structure found in a netlist."""
+
+    check: str
+    severity: str  # "block" | "review"
+    message: str
+
+
+@dataclass
+class ScanReport:
+    """All findings for one tenant netlist."""
+
+    netlist_name: str
+    findings: List[ScanFinding] = field(default_factory=list)
+    potential_oscillators: int = 0
+    max_latch_gate_fanout: int = 0
+
+    @property
+    def admit(self) -> bool:
+        """False when any blocking finding exists."""
+        return not any(f.severity == "block" for f in self.findings)
+
+    def summary(self) -> str:
+        verdict = "ADMIT" if self.admit else "REJECT"
+        lines = [f"Bitstream scan {verdict} for '{self.netlist_name}' "
+                 f"({self.potential_oscillators} potential oscillator "
+                 f"group(s), max latch-gate fanout "
+                 f"{self.max_latch_gate_fanout}):"]
+        for f in self.findings:
+            lines.append(f"  [{f.severity:>6}] {f.check}: {f.message}")
+        if not self.findings:
+            lines.append("  no findings")
+        return "\n".join(lines)
+
+
+class BitstreamScanner:
+    """Structural screening beyond vendor DRC.
+
+    Parameters
+    ----------
+    max_oscillator_groups:
+        Latch-loop groups tolerated before blocking (legitimate designs
+        occasionally infer a latch; banks of them are the signature).
+    max_gate_fanout:
+        Latch-gate fanout of a single net tolerated before blocking.
+    """
+
+    CHECK_COMB_LOOP = "combinational-loop"
+    CHECK_LATCH_LOOP = "latch-transparency-loop"
+    CHECK_GATE_FANOUT = "shared-latch-enable-fanout"
+    CHECK_LATCH_RATIO = "latch-density"
+
+    def __init__(self, max_oscillator_groups: int = 2,
+                 max_gate_fanout: int = 16,
+                 max_latch_fraction: float = 0.25) -> None:
+        if max_oscillator_groups < 0 or max_gate_fanout < 1:
+            raise ConfigError("scanner thresholds out of range")
+        if not 0 < max_latch_fraction <= 1:
+            raise ConfigError("max_latch_fraction must be in (0, 1]")
+        self.max_oscillator_groups = max_oscillator_groups
+        self.max_gate_fanout = max_gate_fanout
+        self.max_latch_fraction = max_latch_fraction
+
+    def scan(self, netlist: Netlist) -> ScanReport:
+        report = ScanReport(netlist_name=netlist.name)
+        report.potential_oscillators = self._count_cycles(netlist,
+                                                          transparent=True)
+        report.max_latch_gate_fanout = self._max_gate_fanout(netlist)
+        self._check_comb_loops(netlist, report)
+        self._check_oscillators(report)
+        self._check_fanout(report)
+        self._check_latch_density(netlist, report)
+        return report
+
+    # -- individual checks ----------------------------------------------------
+
+    def _count_cycles(self, netlist: Netlist, transparent: bool) -> int:
+        """Cyclic SCCs in the (optionally latch-transparent) timing graph."""
+        graph = netlist.timing_graph(transparent_latches=transparent)
+        count = 0
+        for component in nx.strongly_connected_components(graph):
+            if len(component) > 1:
+                count += 1
+            else:
+                node = next(iter(component))
+                if graph.has_edge(node, node):
+                    count += 1
+        return count
+
+    def _check_comb_loops(self, netlist: Netlist,
+                          report: ScanReport) -> None:
+        """Pure combinational loops block unconditionally (as vendor DRC
+        already would; the scanner is self-contained about it)."""
+        n = self._count_cycles(netlist, transparent=False)
+        if n > 0:
+            report.findings.append(ScanFinding(
+                check=self.CHECK_COMB_LOOP,
+                severity="block",
+                message=f"{n} combinational loop group(s) (ring oscillators)",
+            ))
+
+    def _max_gate_fanout(self, netlist: Netlist) -> int:
+        """Largest number of latch G pins driven by any single net."""
+        worst = 0
+        for net in netlist.nets():
+            gates = sum(
+                1 for sink in net.sinks
+                if isinstance(sink.cell, LDCE) and sink.port == "G"
+            )
+            worst = max(worst, gates)
+        return worst
+
+    def _check_oscillators(self, report: ScanReport) -> None:
+        n = report.potential_oscillators
+        if n > self.max_oscillator_groups:
+            report.findings.append(ScanFinding(
+                check=self.CHECK_LATCH_LOOP,
+                severity="block",
+                message=(f"{n} loop group(s) close through transparent "
+                         "latches (self-oscillator bank signature)"),
+            ))
+        elif n > 0:
+            report.findings.append(ScanFinding(
+                check=self.CHECK_LATCH_LOOP,
+                severity="review",
+                message=f"{n} latch-transparency loop(s); manual review",
+            ))
+
+    def _check_fanout(self, report: ScanReport) -> None:
+        fanout = report.max_latch_gate_fanout
+        if fanout > self.max_gate_fanout:
+            report.findings.append(ScanFinding(
+                check=self.CHECK_GATE_FANOUT,
+                severity="block",
+                message=(f"one net gates {fanout} latches (shared Start "
+                         "enable of a power-waster bank)"),
+            ))
+
+    def _check_latch_density(self, netlist: Netlist,
+                             report: ScanReport) -> None:
+        total = netlist.cell_count()
+        if total == 0:
+            return
+        latches = sum(1 for c in netlist.cells() if isinstance(c, LDCE))
+        fraction = latches / total
+        if fraction > self.max_latch_fraction and latches > 8:
+            report.findings.append(ScanFinding(
+                check=self.CHECK_LATCH_RATIO,
+                severity="review",
+                message=(f"{fraction:.0%} of cells are latches "
+                         f"({latches}/{total}); unusual for synthesis"),
+            ))

@@ -1,0 +1,134 @@
+"""Runtime droop monitoring: the TDC pointed the other way.
+
+The defender trains the monitor on clean traces (its own workload's
+activity envelope), then watches live readouts.  Two detectors run in
+parallel:
+
+* a **floor detector** — any readout below the learned minimum minus a
+  margin is an immediate alarm (strikes dip far below legitimate
+  activity), and
+* a **CUSUM detector** — accumulates persistent excursions *below the
+  clean floor*, catching gentler attacks (fewer striker cells) whose
+  dips stay inside the floor margin but recur.  Referencing the floor
+  (not the mean) keeps legitimate layer activity from accumulating
+  evidence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigError
+
+__all__ = ["MonitorVerdict", "DroopMonitor"]
+
+
+@dataclass(frozen=True)
+class MonitorVerdict:
+    """Outcome of monitoring one trace."""
+
+    alarmed: bool
+    first_alarm_tick: Optional[int]
+    floor_alarms: int
+    cusum_alarms: int
+
+    @property
+    def detected(self) -> bool:
+        return self.alarmed
+
+
+class DroopMonitor:
+    """Train-on-clean, alarm-on-attack readout monitor.
+
+    Parameters
+    ----------
+    floor_margin:
+        Counts below the learned clean minimum that trigger the floor
+        detector.
+    cusum_k / cusum_h:
+        CUSUM slack and threshold, in counts.  ``k`` absorbs benign
+        drift; ``h`` sets the accumulated-evidence alarm level.
+    """
+
+    def __init__(self, floor_margin: float = 3.0, cusum_k: float = 1.0,
+                 cusum_h: float = 24.0) -> None:
+        if floor_margin <= 0 or cusum_k < 0 or cusum_h <= 0:
+            raise ConfigError("monitor thresholds must be positive")
+        self.floor_margin = floor_margin
+        self.cusum_k = cusum_k
+        self.cusum_h = cusum_h
+        self._clean_floor: Optional[float] = None
+        self._clean_mean: Optional[float] = None
+
+    # -- training ----------------------------------------------------------
+
+    def fit(self, clean_traces: Sequence[np.ndarray]) -> "DroopMonitor":
+        """Learn the activity envelope from clean readout traces."""
+        if not clean_traces:
+            raise ConfigError("need at least one clean trace")
+        mins = [float(np.min(t)) for t in clean_traces]
+        means = [float(np.mean(t)) for t in clean_traces]
+        self._clean_floor = min(mins)
+        self._clean_mean = float(np.mean(means))
+        return self
+
+    @property
+    def trained(self) -> bool:
+        return self._clean_floor is not None
+
+    @property
+    def clean_floor(self) -> float:
+        if self._clean_floor is None:
+            raise ConfigError("monitor not trained; call fit() first")
+        return self._clean_floor
+
+    # -- detection ----------------------------------------------------------
+
+    def watch(self, readouts: np.ndarray) -> MonitorVerdict:
+        """Monitor one trace; returns the verdict with alarm statistics."""
+        if not self.trained:
+            raise ConfigError("monitor not trained; call fit() first")
+        trace = np.asarray(readouts, dtype=np.float64)
+        if trace.ndim != 1 or trace.size == 0:
+            raise ConfigError("need a non-empty 1-D readout trace")
+
+        floor_mask = trace < (self._clean_floor - self.floor_margin)
+        floor_alarms = int(np.count_nonzero(floor_mask))
+
+        # CUSUM on excursions below the clean floor (legitimate activity
+        # never goes below it, so it contributes no evidence).
+        deviation = (self._clean_floor - trace) - self.cusum_k
+        cusum = 0.0
+        cusum_alarms = 0
+        cusum_first: Optional[int] = None
+        for k, d in enumerate(deviation):
+            cusum = max(0.0, cusum + d)
+            if cusum > self.cusum_h:
+                cusum_alarms += 1
+                if cusum_first is None:
+                    cusum_first = k
+                cusum = 0.0  # reset after an alarm
+
+        floor_first = int(np.argmax(floor_mask)) if floor_alarms else None
+        candidates = [t for t in (floor_first, cusum_first) if t is not None]
+        first = min(candidates) if candidates else None
+        return MonitorVerdict(
+            alarmed=bool(candidates),
+            first_alarm_tick=first,
+            floor_alarms=floor_alarms,
+            cusum_alarms=cusum_alarms,
+        )
+
+    def detection_latency_s(self, verdict: MonitorVerdict, dt: float,
+                            attack_start_tick: int) -> Optional[float]:
+        """Seconds from attack start to the first alarm (None if missed
+        or if the alarm fired before the attack — a false positive)."""
+        if verdict.first_alarm_tick is None:
+            return None
+        delta = verdict.first_alarm_tick - attack_start_tick
+        if delta < 0:
+            return None
+        return delta * dt

@@ -1,0 +1,141 @@
+"""Detection studies: monitor performance across attack intensities.
+
+Quantifies the defender's trade-off: detection rate and latency versus
+false alarms on clean traffic, as the attacker dials intensity (striker
+cells, strike counts) up or down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..accel.activity import STALL_CURRENT, inference_current_trace
+from ..accel.engine import AcceleratorEngine
+from ..errors import ConfigError
+from ..fpga.pdn import PowerDistributionNetwork
+from ..sensors.delay import GateDelayModel
+from ..sensors.tdc import TDCSensor
+from ..striker.bank import effective_bank_current
+from ..striker.cell import StrikerCell
+from .droop_monitor import DroopMonitor
+
+__all__ = ["DetectionResult", "DetectionStudy"]
+
+
+@dataclass(frozen=True)
+class DetectionResult:
+    """Monitor performance at one attack intensity."""
+
+    bank_cells: int
+    n_strikes: int
+    detection_rate: float
+    mean_latency_s: Optional[float]
+    false_alarm_rate: float  # alarms per clean trace
+
+
+class DetectionStudy:
+    """Generate clean/attacked traces and score a droop monitor.
+
+    The study targets the victim's busiest layer (deepest legitimate
+    droop), which is the attacker's best hiding place: if the monitor
+    wins there, it wins everywhere.
+    """
+
+    def __init__(self, engine: AcceleratorEngine, sensor: TDCSensor,
+                 seed: int = 0) -> None:
+        self.engine = engine
+        self.sensor = sensor
+        self.config = engine.config
+        self.seed = seed
+        self._cell = StrikerCell(self.config.striker,
+                                 GateDelayModel(self.config.delay))
+        windows = engine.schedule.windows()
+        self.target = max(windows, key=lambda w: w.plan.lanes)
+
+    # -- trace generation ----------------------------------------------------
+
+    def _trace(self, strike_cycles: Optional[np.ndarray], bank_cells: int,
+               seed: int) -> np.ndarray:
+        rng = np.random.default_rng(seed)
+        current = inference_current_trace(
+            self.engine.schedule, self.config.accel, self.config.clock,
+            rng=rng,
+        )
+        if strike_cycles is not None and bank_cells > 0:
+            tpc = self.config.clock.ticks_per_victim_cycle
+            amps = effective_bank_current(bank_cells, self._cell,
+                                          self.config.pdn)
+            for cycle in strike_cycles:
+                start = int(cycle) * tpc
+                current[start:start + tpc] += amps
+        pdn = PowerDistributionNetwork(self.config.pdn,
+                                       dt=self.config.clock.sim_dt, rng=rng)
+        pdn.settle(STALL_CURRENT)
+        return self.sensor.sample_trace(pdn.simulate(current))
+
+    def clean_traces(self, n: int = 4) -> List[np.ndarray]:
+        return [self._trace(None, 0, self.seed + 100 + k) for k in range(n)]
+
+    def attacked_trace(self, bank_cells: int, n_strikes: int,
+                       seed_offset: int = 0) -> np.ndarray:
+        window = self.target
+        if n_strikes < 1 or n_strikes > window.cycles:
+            raise ConfigError(
+                f"n_strikes must be in [1, {window.cycles}]"
+            )
+        cycles = window.start_cycle + np.linspace(
+            0, window.cycles - 1, n_strikes
+        ).astype(int)
+        return self._trace(cycles, bank_cells,
+                           self.seed + 500 + seed_offset)
+
+    @property
+    def attack_start_tick(self) -> int:
+        return self.target.start_cycle * self.config.clock.ticks_per_victim_cycle
+
+    # -- scoring ----------------------------------------------------------
+
+    def evaluate(self, monitor: DroopMonitor, bank_cells: int,
+                 n_strikes: int, trials: int = 4,
+                 clean_trials: int = 4) -> DetectionResult:
+        """Fit on clean traces, score on attacked and fresh clean ones."""
+        monitor.fit(self.clean_traces(clean_trials))
+
+        detections = 0
+        latencies: List[float] = []
+        for k in range(trials):
+            verdict = monitor.watch(
+                self.attacked_trace(bank_cells, n_strikes, seed_offset=k)
+            )
+            if verdict.detected:
+                detections += 1
+                latency = monitor.detection_latency_s(
+                    verdict, self.config.clock.sim_dt,
+                    self.attack_start_tick,
+                )
+                if latency is not None:
+                    latencies.append(latency)
+
+        false_alarms = 0
+        for k in range(clean_trials):
+            fresh = self._trace(None, 0, self.seed + 900 + k)
+            if monitor.watch(fresh).detected:
+                false_alarms += 1
+
+        return DetectionResult(
+            bank_cells=bank_cells,
+            n_strikes=n_strikes,
+            detection_rate=detections / trials,
+            mean_latency_s=(float(np.mean(latencies)) if latencies else None),
+            false_alarm_rate=false_alarms / clean_trials,
+        )
+
+    def sweep(self, monitor: DroopMonitor,
+              intensities: Sequence[tuple],
+              trials: int = 3) -> List[DetectionResult]:
+        """Evaluate across (bank_cells, n_strikes) intensities."""
+        return [self.evaluate(monitor, cells, strikes, trials=trials)
+                for cells, strikes in intensities]

@@ -1,0 +1,26 @@
+"""DSP48 slice models: functional pipeline, timing, and fault behaviour.
+
+DNN accelerators put their multipliers on DSP48 slices and usually clock
+them at double data rate; the resulting tight timing margin is why the
+paper finds DSP-mapped layers the most fault-sensitive resource.  Under a
+power strike the slice exhibits two fault classes (paper Section IV-A):
+
+* **duplication faults** — the computation misses its capture edge and
+  the previous input's (correct) product appears instead, and
+* **random faults** — the capture lands mid-transition and the output is
+  garbage with no obvious pattern.
+"""
+
+from .slice_model import DSP48Slice
+from .timing import DSPTiming
+from .faults import FaultType, TimingFaultModel
+from .harness import FaultCharacterization, FaultRates
+
+__all__ = [
+    "DSP48Slice",
+    "DSPTiming",
+    "FaultCharacterization",
+    "FaultRates",
+    "FaultType",
+    "TimingFaultModel",
+]

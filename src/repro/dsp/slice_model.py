@@ -1,0 +1,200 @@
+"""Behavioral DSP48 slice: ``(a + d) * b`` through a timed pipeline.
+
+The slice is configured exactly as the paper's characterization testbench
+(and as convolution kernels configure it): pre-adder plus multiplier,
+result fetched ``pipeline_depth`` capture edges after issue.  Every
+capture edge consults the shared :class:`~repro.dsp.TimingFaultModel`
+with the rail voltage at that edge, so droop while *any* stage of an
+op is in flight can corrupt it.
+
+Faults manifest at the op the edge carries:
+
+* duplication — the op's result is replaced by the *previous* op's
+  correct product (stale capture),
+* random — the result is replaced by uniform random bits of the output
+  width.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque
+
+import numpy as np
+
+from ..config import DSPConfig
+from ..errors import SimulationError
+from .faults import FaultType, TimingFaultModel
+
+__all__ = ["DSP48Slice", "DSPResult"]
+
+#: DSP48E1 output register width.
+P_WIDTH = 48
+_P_MASK = (1 << P_WIDTH) - 1
+
+#: Active product width for 8-bit operands through the pre-adder.
+_RANDOM_WIDTH = 18
+
+
+def _wrap_p(value: int) -> int:
+    """Wrap an integer into the signed 48-bit P register range."""
+    value &= _P_MASK
+    if value >= 1 << (P_WIDTH - 1):
+        value -= 1 << P_WIDTH
+    return value
+
+
+@dataclass
+class DSPResult:
+    """One retired DSP operation."""
+
+    value: int
+    expected: int
+    fault: FaultType
+
+    @property
+    def faulted(self) -> bool:
+        return self.fault is not FaultType.NONE
+
+
+@dataclass
+class _InFlight:
+    expected: int
+    fault: FaultType = FaultType.NONE
+
+
+class DSP48Slice:
+    """One behaviorally-timed DSP48 slice.
+
+    >>> import numpy as np
+    >>> from repro.config import default_config
+    >>> from repro.sensors import GateDelayModel
+    >>> from repro.dsp import DSP48Slice, TimingFaultModel
+    >>> cfg = default_config()
+    >>> fm = TimingFaultModel(cfg.dsp, GateDelayModel(cfg.delay),
+    ...                       np.random.default_rng(0))
+    >>> dsp = DSP48Slice(cfg.dsp, fm)
+    >>> outs = [dsp.clock(2, 3, 4, voltage=1.0) for _ in range(6)]
+    >>> outs[-1].value  # (2+4)*3, retired after pipeline_depth edges
+    18
+    """
+
+    def __init__(self, config: DSPConfig, fault_model: TimingFaultModel,
+                 name: str = "dsp0") -> None:
+        config.validate()
+        self.config = config
+        self.fault_model = fault_model
+        self.name = name
+        self._pipeline: Deque[_InFlight] = deque()
+        self._last_retired_expected = 0
+        self._accumulator = 0
+        self.reset()
+
+    def reset(self) -> None:
+        """Flush the pipeline (bubbles carry zero, the P reset value)."""
+        self._pipeline = deque(
+            _InFlight(expected=0) for _ in range(self.config.pipeline_depth)
+        )
+        self._last_retired_expected = 0
+        self._last_issued_expected = 0
+        self._accumulator = 0
+
+    # -- operation ----------------------------------------------------------
+
+    @staticmethod
+    def compute(a: int, b: int, d: int) -> int:
+        """The slice's exact function: ``(a + d) * b`` (48-bit wrapped)."""
+        return _wrap_p((int(a) + int(d)) * int(b))
+
+    def clock(self, a: int, b: int, d: int, voltage: float) -> DSPResult:
+        """One capture edge: issue ``(a+d)*b`` and retire the oldest op.
+
+        ``voltage`` is the rail voltage at this edge.  A timing fault at
+        this edge corrupts the *newly issued* op — its capture into the
+        first pipeline register is what the edge performs — matching the
+        paper's observation that a 1-cycle strike faults a single
+        operation.
+        """
+        if not np.isfinite(voltage) or voltage <= 0:
+            raise SimulationError(f"bad rail voltage {voltage}")
+        expected = self.compute(a, b, d)
+        # Only transitioning outputs can capture a timing fault: if this
+        # product equals the previous issue's, no path switches.
+        if expected == self._last_issued_expected:
+            fault = FaultType.NONE
+        else:
+            fault = self.fault_model.decide(voltage)
+        op = _InFlight(expected=expected, fault=fault)
+        self._last_issued_expected = expected
+        self._pipeline.append(op)
+        retired = self._pipeline.popleft()
+        value = self._resolve(retired)
+        self._last_retired_expected = retired.expected
+        return DSPResult(value=value, expected=retired.expected,
+                         fault=retired.fault)
+
+    def _resolve(self, op: _InFlight) -> int:
+        if op.fault is FaultType.NONE:
+            return op.expected
+        if op.fault is FaultType.DUPLICATION:
+            # The previous op's correct product appears in place of ours.
+            return self._last_retired_expected
+        # Random fault: garbage over the *toggling* bit-width.  Bits above
+        # the highest bit that differs between the old and new product are
+        # settled at the capture edge; everything below is uncertain.  A
+        # sign flip toggles the whole (two's complement) word.
+        word = (1 << _RANDOM_WIDTH) - 1
+        u_cur = op.expected & word
+        u_prev = self._last_retired_expected & word
+        toggling = u_cur ^ u_prev
+        if toggling == 0:
+            return op.expected
+        mask = (1 << toggling.bit_length()) - 1
+        captured = (u_cur & ~mask) | (
+            int(self.fault_model.rng.integers(0, word + 1)) & mask
+        )
+        if captured >= 1 << (_RANDOM_WIDTH - 1):
+            captured -= 1 << _RANDOM_WIDTH
+        return _wrap_p(captured)
+
+    @property
+    def depth(self) -> int:
+        return self.config.pipeline_depth
+
+    # -- MAC (accumulate) mode ------------------------------------------------
+
+    @property
+    def accumulator(self) -> int:
+        """The P register's running sum in MAC mode."""
+        return self._accumulator
+
+    def clear_accumulator(self) -> None:
+        """The OPMODE 'load zero' step between output pixels."""
+        self._accumulator = 0
+
+    def mac(self, a: int, b: int, d: int, voltage: float) -> DSPResult:
+        """One accumulate step: ``P += (a + d) * b`` (DSP48 MAC OPMODE).
+
+        This is how fully connected layers run on the slice: a serial
+        stream of products folding into P.  The multiplier stage is the
+        timed path, so the fault semantics follow :meth:`clock`: the
+        product entering the adder may be stale (duplication) or garbage
+        (random); the accumulation itself then absorbs or propagates it.
+        """
+        result = self.clock(a, b, d, voltage)
+        self._accumulator = _wrap_p(self._accumulator + result.value)
+        return result
+
+    def mac_reduce(self, operands, voltage: float) -> int:
+        """Accumulate a whole operand stream and drain the pipeline.
+
+        ``operands`` is an iterable of ``(a, b, d)``; returns the final
+        P value after every product has retired into the accumulator.
+        """
+        self.clear_accumulator()
+        for a, b, d in operands:
+            self.mac(int(a), int(b), int(d), voltage)
+        for _ in range(self.depth):
+            self.mac(0, 0, 0, voltage)
+        return self._accumulator

@@ -1,0 +1,62 @@
+"""Critical-path timing of a double-data-rate DSP48 slice.
+
+Static timing analysis closes the slice at nominal voltage (the paper's
+testbench "works correctly and the timing analysis does not complain"),
+but leaves only ~8% slack at the 5 ns DDR period.  Supply droop stretches
+the path via the shared alpha-power delay law; the *violation depth*
+``max(0, delay(v) - period)`` is the quantity the fault model consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from ..config import DSPConfig
+from ..errors import ConfigError
+from ..sensors.delay import GateDelayModel
+
+__all__ = ["DSPTiming"]
+
+ArrayLike = Union[float, np.ndarray]
+
+
+class DSPTiming:
+    """Voltage -> critical-path delay, slack, and violation depth."""
+
+    def __init__(self, config: DSPConfig, delay_model: GateDelayModel) -> None:
+        config.validate()
+        self.config = config
+        self.delay_model = delay_model
+
+    def path_delay(self, voltage: ArrayLike) -> ArrayLike:
+        """Critical-path delay at ``voltage``, seconds."""
+        return self.delay_model.delay(self.config.critical_path_nominal, voltage)
+
+    def slack(self, voltage: ArrayLike) -> ArrayLike:
+        """Setup slack at ``voltage`` (negative when timing is violated)."""
+        return self.config.ddr_period - self.path_delay(voltage)
+
+    def violation(self, voltage: ArrayLike) -> ArrayLike:
+        """Violation depth ``max(0, delay - period)``; zero when safe."""
+        v = np.asarray(voltage, dtype=np.float64)
+        out = np.maximum(self.path_delay(v) - self.config.ddr_period, 0.0)
+        return float(out) if np.isscalar(voltage) else out
+
+    def meets_timing(self, voltage: ArrayLike) -> Union[bool, np.ndarray]:
+        """True where the path still makes the DDR period."""
+        v = np.asarray(voltage, dtype=np.float64)
+        out = self.path_delay(v) <= self.config.ddr_period
+        return bool(out) if np.isscalar(voltage) else out
+
+    def onset_voltage(self) -> float:
+        """The rail voltage at which timing first fails (closed form).
+
+        Delays scale by ``period / critical_path_nominal`` exactly at the
+        onset, so invert the delay law at that factor.
+        """
+        factor = self.config.ddr_period / self.config.critical_path_nominal
+        if factor <= 1.0:
+            raise ConfigError("DSP fails timing even at nominal voltage")
+        return self.delay_model.voltage_for_factor(factor)

@@ -1,0 +1,55 @@
+"""Exception hierarchy for the DeepStrike reproduction.
+
+Every error raised by ``repro`` derives from :class:`ReproError` so callers
+can catch library failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is out of range or inconsistent."""
+
+
+class DRCViolation(ReproError):
+    """A netlist failed design rule checking (e.g. a combinational loop)."""
+
+    def __init__(self, rule: str, message: str) -> None:
+        self.rule = rule
+        super().__init__(f"DRC rule '{rule}' violated: {message}")
+
+
+class PlacementError(ReproError):
+    """A tenant could not be placed on the device floorplan."""
+
+
+class ResourceError(ReproError):
+    """A tenant requested more resources than the device provides."""
+
+
+class CalibrationError(ReproError):
+    """Sensor calibration failed to reach the requested operating point."""
+
+
+class SchedulerError(ReproError):
+    """The attack scheduler was driven through an illegal state transition."""
+
+
+class SchemeError(ReproError):
+    """An attacking scheme file is malformed or cannot be compiled."""
+
+
+class QuantizationError(ReproError):
+    """A value cannot be represented in the requested fixed-point format."""
+
+
+class SimulationError(ReproError):
+    """The co-simulation loop reached an inconsistent state."""
+
+
+class ProfilingError(ReproError):
+    """Side-channel profiling could not segment or classify a trace."""

@@ -1,0 +1,206 @@
+"""Bitstream packaging and partial-reconfiguration loading.
+
+The threat model's hypervisor "will compile and combine applications of
+all the tenants ... generate a unified bitstream and deploy it on one
+FPGA device".  This module models the artifact layer of that flow:
+
+* :class:`Bitstream` — a pseudo-bitstream synthesized deterministically
+  from a structural netlist: a header (device, region, resource counts)
+  plus configuration frames with a CRC32, as real partial bitstreams
+  carry;
+* :class:`BitstreamLoader` — the hypervisor-side checks before
+  programming: device match, region bounds, frame addressing inside the
+  allotted region, and CRC integrity (catching in-flight tampering).
+
+The *logic* content of frames is a hash of the netlist, not real
+configuration data — what matters to the reproduction is the integrity
+and placement checking, not Xilinx frame encoding.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..errors import ConfigError, PlacementError, ResourceError
+from .floorplan import Floorplan, Region
+from .netlist import Netlist
+from .resources import DeviceResources
+
+__all__ = ["ConfigurationFrame", "Bitstream", "BitstreamLoader"]
+
+#: Pseudo-frame payload size (bytes); 7-series frames are 101 words.
+FRAME_BYTES = 404
+
+#: Fabric tiles covered by one frame column.
+TILES_PER_FRAME = 50
+
+
+@dataclass(frozen=True)
+class ConfigurationFrame:
+    """One addressed configuration frame."""
+
+    address: int
+    payload: bytes
+
+    def __post_init__(self) -> None:
+        if self.address < 0:
+            raise ConfigError("frame address must be >= 0")
+        if len(self.payload) != FRAME_BYTES:
+            raise ConfigError(
+                f"frame payload must be {FRAME_BYTES} bytes, "
+                f"got {len(self.payload)}"
+            )
+
+
+@dataclass
+class Bitstream:
+    """A partial bitstream for one tenant region."""
+
+    design_name: str
+    device_name: str
+    region: Region
+    lut_count: int
+    ff_count: int
+    latch_count: int
+    frames: List[ConfigurationFrame] = field(default_factory=list)
+    crc32: int = 0
+
+    # -- synthesis ----------------------------------------------------------
+
+    @classmethod
+    def synthesize(cls, netlist: Netlist, region: Region,
+                   device: DeviceResources) -> "Bitstream":
+        """Deterministic pseudo-synthesis of a netlist into frames.
+
+        Frame payloads are keyed hashes of the netlist content, so two
+        different designs never share a bitstream and any payload edit is
+        caught by the CRC.
+        """
+        digest_seed = hashlib.sha256()
+        digest_seed.update(netlist.name.encode())
+        for cell in sorted(netlist.cells(), key=lambda c: c.name):
+            digest_seed.update(cell.PRIMITIVE.encode())
+            digest_seed.update(cell.name.encode())
+        seed = digest_seed.digest()
+
+        n_frames = max(1, (region.area + TILES_PER_FRAME - 1)
+                       // TILES_PER_FRAME)
+        base_address = (region.y0 << 16) | region.x0
+        frames = []
+        for k in range(n_frames):
+            payload = bytearray()
+            counter = 0
+            while len(payload) < FRAME_BYTES:
+                block = hashlib.sha256(
+                    seed + struct.pack("<II", k, counter)
+                ).digest()
+                payload.extend(block)
+                counter += 1
+            frames.append(ConfigurationFrame(base_address + k,
+                                             bytes(payload[:FRAME_BYTES])))
+
+        stream = cls(
+            design_name=netlist.name,
+            device_name=device.name,
+            region=region,
+            lut_count=netlist.lut_count(),
+            ff_count=netlist.ff_count(),
+            latch_count=netlist.latch_count(),
+            frames=frames,
+        )
+        stream.crc32 = stream.compute_crc()
+        return stream
+
+    # -- integrity ----------------------------------------------------------
+
+    def compute_crc(self) -> int:
+        crc = zlib.crc32(self.design_name.encode())
+        crc = zlib.crc32(self.device_name.encode(), crc)
+        crc = zlib.crc32(struct.pack("<IIII", self.region.x0, self.region.y0,
+                                     self.region.x1, self.region.y1), crc)
+        for frame in self.frames:
+            crc = zlib.crc32(struct.pack("<I", frame.address), crc)
+            crc = zlib.crc32(frame.payload, crc)
+        return crc & 0xFFFFFFFF
+
+    def verify(self) -> bool:
+        """True when the stored CRC matches the content."""
+        return self.crc32 == self.compute_crc()
+
+    def tampered_copy(self, frame_index: int = 0,
+                      byte_index: int = 0) -> "Bitstream":
+        """A copy with one payload byte flipped (for integrity tests)."""
+        if not 0 <= frame_index < len(self.frames):
+            raise ConfigError("frame index out of range")
+        frame = self.frames[frame_index]
+        payload = bytearray(frame.payload)
+        payload[byte_index] ^= 0xFF
+        frames = list(self.frames)
+        frames[frame_index] = ConfigurationFrame(frame.address,
+                                                 bytes(payload))
+        return Bitstream(
+            design_name=self.design_name,
+            device_name=self.device_name,
+            region=self.region,
+            lut_count=self.lut_count,
+            ff_count=self.ff_count,
+            latch_count=self.latch_count,
+            frames=frames,
+            crc32=self.crc32,  # stale on purpose
+        )
+
+
+class BitstreamLoader:
+    """Hypervisor-side validation before programming a partial region."""
+
+    def __init__(self, device: DeviceResources, floorplan: Floorplan) -> None:
+        self.device = device
+        self.floorplan = floorplan
+        self._programmed: List[str] = []
+
+    def validate(self, stream: Bitstream,
+                 expected_region: Optional[Region] = None) -> None:
+        """All checks a cloud PR flow runs; raises on the first failure."""
+        if stream.device_name != self.device.name:
+            raise ResourceError(
+                f"bitstream targets '{stream.device_name}', device is "
+                f"'{self.device.name}'"
+            )
+        region = stream.region
+        if (region.x0 < 0 or region.y0 < 0
+                or region.x1 > self.floorplan.width
+                or region.y1 > self.floorplan.height):
+            raise PlacementError(
+                f"bitstream region '{region.name}' exceeds the fabric"
+            )
+        if expected_region is not None and region != expected_region:
+            raise PlacementError(
+                "bitstream region does not match the tenant's allocation"
+            )
+        if not stream.verify():
+            raise ConfigError(
+                f"bitstream '{stream.design_name}' failed CRC "
+                "(corrupted or tampered in flight)"
+            )
+        base = (region.y0 << 16) | region.x0
+        n_frames = len(stream.frames)
+        for frame in stream.frames:
+            if not base <= frame.address < base + n_frames:
+                raise PlacementError(
+                    f"frame address 0x{frame.address:08x} outside the "
+                    "region's configuration column range"
+                )
+
+    def program(self, stream: Bitstream,
+                expected_region: Optional[Region] = None) -> None:
+        """Validate and mark the region as programmed."""
+        self.validate(stream, expected_region)
+        self._programmed.append(stream.design_name)
+
+    @property
+    def programmed_designs(self) -> List[str]:
+        return list(self._programmed)

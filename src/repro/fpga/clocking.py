@@ -1,0 +1,113 @@
+"""Clock management tile (MMCM) model.
+
+The TDC needs two same-frequency clocks with a calibrated phase offset
+theta between them (paper Fig 1a); the attack scheduler reads its signal
+RAM at a separate frequency f_sRAM.  This module hands out
+:class:`ClockSpec` objects derived from one reference and validates that
+requested clocks are realizable integer divisions of the tile's VCO.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..errors import ConfigError
+from ..units import period_of
+
+__all__ = ["ClockSpec", "ClockManagementTile"]
+
+
+@dataclass(frozen=True)
+class ClockSpec:
+    """One generated clock: frequency plus phase offset in seconds."""
+
+    name: str
+    frequency_hz: float
+    phase_s: float = 0.0
+
+    @property
+    def period(self) -> float:
+        return period_of(self.frequency_hz)
+
+    def with_phase(self, phase_s: float) -> "ClockSpec":
+        """Same clock with a new phase offset, wrapped into [0, period)."""
+        return ClockSpec(self.name, self.frequency_hz, phase_s % self.period)
+
+    def edges_in(self, duration_s: float) -> int:
+        """Number of rising edges within ``duration_s`` starting at t=0."""
+        if duration_s < 0:
+            raise ConfigError("duration must be >= 0")
+        if duration_s < self.phase_s:
+            return 0
+        return 1 + int((duration_s - self.phase_s) / self.period)
+
+
+class ClockManagementTile:
+    """MMCM-like clock synthesizer.
+
+    A 7-series MMCM multiplies the reference into a VCO (600-1440 MHz)
+    and divides it down per output; phase shift resolution is 1/56 of the
+    VCO period.  Those two constraints are enforced so configurations the
+    hardware could not realize are rejected.
+    """
+
+    VCO_MIN_HZ = 600e6
+    VCO_MAX_HZ = 1440e6
+    PHASE_STEPS_PER_VCO_PERIOD = 56
+
+    def __init__(self, reference_hz: float = 125e6, multiplier: int = 8) -> None:
+        if reference_hz <= 0:
+            raise ConfigError("reference frequency must be positive")
+        vco = reference_hz * multiplier
+        if not self.VCO_MIN_HZ <= vco <= self.VCO_MAX_HZ:
+            raise ConfigError(
+                f"VCO {vco / 1e6:.1f} MHz outside [{self.VCO_MIN_HZ / 1e6:.0f}, "
+                f"{self.VCO_MAX_HZ / 1e6:.0f}] MHz"
+            )
+        self.reference_hz = reference_hz
+        self.vco_hz = vco
+        self._outputs: Dict[str, ClockSpec] = {}
+
+    @property
+    def phase_resolution_s(self) -> float:
+        """Smallest realizable phase increment."""
+        return period_of(self.vco_hz) / self.PHASE_STEPS_PER_VCO_PERIOD
+
+    def derive(self, name: str, frequency_hz: float, phase_s: float = 0.0) -> ClockSpec:
+        """Create an output clock; frequency must divide the VCO evenly and
+        the phase is quantized to the MMCM's resolution."""
+        if name in self._outputs:
+            raise ConfigError(f"clock '{name}' already derived")
+        if frequency_hz <= 0:
+            raise ConfigError("output frequency must be positive")
+        divider = self.vco_hz / frequency_hz
+        if abs(divider - round(divider)) > 1e-6 or round(divider) < 1:
+            raise ConfigError(
+                f"cannot derive {frequency_hz / 1e6:.3f} MHz from VCO "
+                f"{self.vco_hz / 1e6:.1f} MHz with an integer divider"
+            )
+        spec = ClockSpec(name, frequency_hz, self.quantize_phase(phase_s))
+        self._outputs[name] = spec
+        return spec
+
+    def quantize_phase(self, phase_s: float) -> float:
+        """Snap a requested phase to the MMCM step grid."""
+        step = self.phase_resolution_s
+        return round(phase_s / step) * step
+
+    def rephase(self, name: str, phase_s: float) -> ClockSpec:
+        """Re-program one output's phase (the TDC calibration knob)."""
+        try:
+            spec = self._outputs[name]
+        except KeyError:
+            raise ConfigError(f"no derived clock named '{name}'") from None
+        updated = spec.with_phase(self.quantize_phase(phase_s))
+        self._outputs[name] = updated
+        return updated
+
+    def output(self, name: str) -> ClockSpec:
+        try:
+            return self._outputs[name]
+        except KeyError:
+            raise ConfigError(f"no derived clock named '{name}'") from None

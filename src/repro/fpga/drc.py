@@ -1,0 +1,240 @@
+"""Design rule checking, modelled on the vendor checks the paper discusses.
+
+The decisive rule for DeepStrike is ``LUTLP-1`` (Xilinx's combinational
+loop check): a classic ring oscillator closes a loop entirely through
+combinational cells and is rejected, while the paper's power striker routes
+its loops through LDCE latches — storage elements — and therefore passes.
+
+The checker also implements the *stricter* research-grade rule the paper
+cites as future defence work (scanning for latch-transparency loops,
+cf. FPGADefender): run with ``strict_latch_scan=True`` to see the striker
+get caught by it, which is exactly the paper's point about current cloud
+DRC being insufficient.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple
+
+import networkx as nx
+
+from ..errors import DRCViolation
+from .netlist import Netlist
+from .primitives import LDCE
+
+__all__ = ["Severity", "RuleResult", "DRCReport", "DesignRuleChecker"]
+
+
+class Severity(enum.Enum):
+    """Severity ladder matching vendor tooling."""
+
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class RuleResult:
+    """Outcome of one rule applied to one netlist."""
+
+    rule: str
+    severity: Severity
+    passed: bool
+    message: str
+    details: Tuple[str, ...] = ()
+
+
+@dataclass
+class DRCReport:
+    """Aggregate of all rule results for a netlist."""
+
+    netlist_name: str
+    results: List[RuleResult] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        """True when no ERROR-severity rule failed (warnings are tolerated,
+        as vendor flows do for latch inferences)."""
+        return not any(
+            r.severity is Severity.ERROR and not r.passed for r in self.results
+        )
+
+    def errors(self) -> List[RuleResult]:
+        return [r for r in self.results if r.severity is Severity.ERROR and not r.passed]
+
+    def warnings(self) -> List[RuleResult]:
+        return [r for r in self.results if r.severity is Severity.WARNING and not r.passed]
+
+    def result_for(self, rule: str) -> Optional[RuleResult]:
+        for result in self.results:
+            if result.rule == rule:
+                return result
+        return None
+
+    def raise_on_error(self) -> None:
+        """Raise :class:`DRCViolation` for the first failing ERROR rule."""
+        for result in self.errors():
+            raise DRCViolation(result.rule, result.message)
+
+    def summary(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        lines = [f"DRC {status} for '{self.netlist_name}':"]
+        for r in self.results:
+            mark = "ok " if r.passed else ("ERR" if r.severity is Severity.ERROR else "WRN")
+            lines.append(f"  [{mark}] {r.rule}: {r.message}")
+        return "\n".join(lines)
+
+
+def _cyclic_nodes(graph: nx.DiGraph) -> List[Set]:
+    """Strongly connected components that contain a cycle.
+
+    SCC-based detection scales linearly, unlike simple-cycle enumeration,
+    which matters for striker banks with tens of thousands of cells.
+    """
+    cyclic = []
+    for component in nx.strongly_connected_components(graph):
+        if len(component) > 1:
+            cyclic.append(component)
+        else:
+            node = next(iter(component))
+            if graph.has_edge(node, node):
+                cyclic.append(component)
+    return cyclic
+
+
+class DesignRuleChecker:
+    """Run the rule set over a netlist and produce a :class:`DRCReport`.
+
+    Parameters
+    ----------
+    strict_latch_scan:
+        When True, loops that close through *transparent latch* paths are
+        reported as errors too (research-grade defence).  Vendor default
+        is False: latches are storage, loops through them pass.
+    """
+
+    #: Rule identifiers (vendor-style).
+    RULE_COMB_LOOP = "LUTLP-1"
+    RULE_LATCH_LOOP = "REPRO-LATCHLP"
+    RULE_UNDRIVEN = "REPRO-UNDRIVEN"
+    RULE_LATCH_INFER = "DRC-LATCH"
+    RULE_FLOATING_GATE = "REPRO-GATE"
+
+    def __init__(self, strict_latch_scan: bool = False) -> None:
+        self.strict_latch_scan = strict_latch_scan
+
+    def check(self, netlist: Netlist) -> DRCReport:
+        report = DRCReport(netlist_name=netlist.name)
+        report.results.append(self._check_comb_loops(netlist))
+        report.results.append(self._check_latch_loops(netlist))
+        report.results.append(self._check_undriven(netlist))
+        report.results.append(self._check_latch_usage(netlist))
+        report.results.append(self._check_latch_gates(netlist))
+        return report
+
+    # -- individual rules ---------------------------------------------------
+
+    def _check_comb_loops(self, netlist: Netlist) -> RuleResult:
+        graph = netlist.timing_graph(transparent_latches=False)
+        loops = _cyclic_nodes(graph)
+        if loops:
+            sample = sorted(graph.nodes[n]["label"] for n in next(iter(loops)))[:8]
+            return RuleResult(
+                rule=self.RULE_COMB_LOOP,
+                severity=Severity.ERROR,
+                passed=False,
+                message=(
+                    f"{len(loops)} combinational loop group(s) detected "
+                    "(ring oscillators are banned on this device)"
+                ),
+                details=tuple(sample),
+            )
+        return RuleResult(
+            rule=self.RULE_COMB_LOOP,
+            severity=Severity.ERROR,
+            passed=True,
+            message="no combinational loops",
+        )
+
+    def _check_latch_loops(self, netlist: Netlist) -> RuleResult:
+        """Loops that only close when latches are treated as transparent."""
+        closed = _cyclic_nodes(netlist.timing_graph(transparent_latches=True))
+        open_ = _cyclic_nodes(netlist.timing_graph(transparent_latches=False))
+        latch_only = len(closed) - len(open_)
+        severity = Severity.ERROR if self.strict_latch_scan else Severity.WARNING
+        if latch_only > 0:
+            return RuleResult(
+                rule=self.RULE_LATCH_LOOP,
+                severity=severity,
+                passed=False,
+                message=(
+                    f"{latch_only} loop group(s) close through transparent "
+                    "latches (potential self-oscillator; vendor DRC ignores "
+                    "these, strict scan rejects them)"
+                ),
+            )
+        return RuleResult(
+            rule=self.RULE_LATCH_LOOP,
+            severity=severity,
+            passed=True,
+            message="no latch-transparency loops",
+        )
+
+    def _check_undriven(self, netlist: Netlist) -> RuleResult:
+        undriven = [net.name for net in netlist.nets() if net.driver is None]
+        if undriven:
+            return RuleResult(
+                rule=self.RULE_UNDRIVEN,
+                severity=Severity.WARNING,
+                passed=False,
+                message=f"{len(undriven)} undriven net(s)",
+                details=tuple(sorted(undriven)[:8]),
+            )
+        return RuleResult(
+            rule=self.RULE_UNDRIVEN,
+            severity=Severity.WARNING,
+            passed=True,
+            message="all nets driven",
+        )
+
+    def _check_latch_usage(self, netlist: Netlist) -> RuleResult:
+        """Vendor tools emit an informational DRC when latches are used."""
+        latches = sum(1 for c in netlist.cells() if isinstance(c, LDCE))
+        if latches:
+            return RuleResult(
+                rule=self.RULE_LATCH_INFER,
+                severity=Severity.INFO,
+                passed=True,
+                message=f"{latches} latch(es) in design (informational)",
+            )
+        return RuleResult(
+            rule=self.RULE_LATCH_INFER,
+            severity=Severity.INFO,
+            passed=True,
+            message="no latches",
+        )
+
+    def _check_latch_gates(self, netlist: Netlist) -> RuleResult:
+        """Every latch gate pin must be connected (else it floats transparent)."""
+        bound = {key for key in netlist._input_binding}
+        floating = [
+            cell.name
+            for cell in netlist.cells()
+            if isinstance(cell, LDCE) and (cell.uid, "G") not in bound
+        ]
+        if floating:
+            return RuleResult(
+                rule=self.RULE_FLOATING_GATE,
+                severity=Severity.WARNING,
+                passed=False,
+                message=f"{len(floating)} latch(es) with unconnected gate",
+                details=tuple(sorted(floating)[:8]),
+            )
+        return RuleResult(
+            rule=self.RULE_FLOATING_GATE,
+            severity=Severity.WARNING,
+            passed=True,
+            message="all latch gates connected",
+        )

@@ -1,0 +1,123 @@
+"""Rectangular floorplan regions and tenant placement.
+
+The paper's threat model (Section II-A) requires *no physical interaction*
+between tenants — each tenant occupies a disjoint fabric region and the only
+shared medium is the PDN.  Section IV-A additionally places the victim far
+from the attacker to decouple temperature.  This module enforces disjoint
+placement and provides the separation distance the fault-characterization
+layout (Fig 6a) describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import PlacementError
+
+__all__ = ["Region", "Floorplan"]
+
+
+@dataclass(frozen=True)
+class Region:
+    """An axis-aligned rectangle of fabric, in abstract tile coordinates."""
+
+    name: str
+    x0: int
+    y0: int
+    x1: int
+    y1: int
+
+    def __post_init__(self) -> None:
+        if self.x1 <= self.x0 or self.y1 <= self.y0:
+            raise PlacementError(f"region '{self.name}' has non-positive area")
+
+    @property
+    def width(self) -> int:
+        return self.x1 - self.x0
+
+    @property
+    def height(self) -> int:
+        return self.y1 - self.y0
+
+    @property
+    def area(self) -> int:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Tuple[float, float]:
+        return ((self.x0 + self.x1) / 2.0, (self.y0 + self.y1) / 2.0)
+
+    def overlaps(self, other: "Region") -> bool:
+        return not (
+            self.x1 <= other.x0
+            or other.x1 <= self.x0
+            or self.y1 <= other.y0
+            or other.y1 <= self.y0
+        )
+
+    def distance_to(self, other: "Region") -> float:
+        """Center-to-center Euclidean distance in tiles."""
+        (ax, ay), (bx, by) = self.center, other.center
+        return ((ax - bx) ** 2 + (ay - by) ** 2) ** 0.5
+
+
+class Floorplan:
+    """Tenant regions on a ``width x height`` tile grid."""
+
+    def __init__(self, width: int = 100, height: int = 100) -> None:
+        if width <= 0 or height <= 0:
+            raise PlacementError("floorplan dimensions must be positive")
+        self.width = width
+        self.height = height
+        self._regions: Dict[str, Region] = {}
+
+    def place(self, region: Region) -> Region:
+        """Place a region; rejects out-of-fabric or overlapping placements."""
+        if region.name in self._regions:
+            raise PlacementError(f"region '{region.name}' already placed")
+        if region.x0 < 0 or region.y0 < 0 or region.x1 > self.width or region.y1 > self.height:
+            raise PlacementError(
+                f"region '{region.name}' exceeds the {self.width}x{self.height} fabric"
+            )
+        for existing in self._regions.values():
+            if region.overlaps(existing):
+                raise PlacementError(
+                    f"region '{region.name}' overlaps '{existing.name}' — "
+                    "tenants must be physically disjoint"
+                )
+        self._regions[region.name] = region
+        return region
+
+    def place_apart(self, name: str, width: int, height: int,
+                    far_from: Optional[str] = None) -> Region:
+        """Greedy placement; with ``far_from`` set, picks the candidate
+        position maximizing distance to that tenant (paper Fig 6a layout)."""
+        anchor = self._regions.get(far_from) if far_from else None
+        best: Optional[Region] = None
+        best_score = -1.0
+        for y0 in range(0, self.height - height + 1, max(1, height // 2)):
+            for x0 in range(0, self.width - width + 1, max(1, width // 2)):
+                candidate = Region(name, x0, y0, x0 + width, y0 + height)
+                if any(candidate.overlaps(r) for r in self._regions.values()):
+                    continue
+                score = candidate.distance_to(anchor) if anchor else 0.0
+                if score > best_score:
+                    best, best_score = candidate, score
+        if best is None:
+            raise PlacementError(
+                f"no free {width}x{height} region for '{name}' on the floorplan"
+            )
+        return self.place(best)
+
+    def region(self, name: str) -> Region:
+        try:
+            return self._regions[name]
+        except KeyError:
+            raise PlacementError(f"no region named '{name}'") from None
+
+    def regions(self) -> List[Region]:
+        return list(self._regions.values())
+
+    def separation(self, a: str, b: str) -> float:
+        return self.region(a).distance_to(self.region(b))

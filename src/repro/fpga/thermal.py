@@ -1,0 +1,125 @@
+"""Die thermal model: why strikes are pulses, not levels.
+
+Section IV-A notes that enabling the power striker for longer "will work
+as well but it may increase the temperature of the FPGA chip or even
+crash it", and the Fig 6a layout places the victim far from the attacker
+"to minimize the influence of temperature changes".  This module models
+that constraint: a first-order thermal RC from dissipated power to die
+temperature, an over-temperature crash threshold, and the (mild) delay
+drift temperature induces — which is exactly why the attack scheme file
+uses sparse 10 ns pulses instead of holding Start high.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigError, SimulationError
+
+__all__ = ["ThermalConfig", "ThermalModel"]
+
+
+@dataclass(frozen=True)
+class ThermalConfig:
+    """First-order junction thermal model constants."""
+
+    ambient_c: float = 45.0        # board/enclosure ambient
+    r_theta_c_per_w: float = 58.0  # junction-to-ambient resistance
+    tau_s: float = 2.0e-3          # thermal time constant (die + spreader)
+    crash_c: float = 105.0         # over-temperature shutdown
+    idle_power_w: float = 0.25     # static + housekeeping dissipation
+    #: fractional delay increase per kelvin above ambient (silicon is
+    #: slower when hot; small but real).
+    delay_tempco_per_c: float = 0.0012
+
+    def validate(self) -> None:
+        if self.tau_s <= 0 or self.r_theta_c_per_w <= 0:
+            raise ConfigError("thermal constants must be positive")
+        if self.crash_c <= self.ambient_c:
+            raise ConfigError("crash threshold must exceed ambient")
+        if self.idle_power_w < 0 or self.delay_tempco_per_c < 0:
+            raise ConfigError("idle power and tempco must be >= 0")
+
+
+class ThermalModel:
+    """Streaming/vectorized junction temperature from dissipated power."""
+
+    def __init__(self, config: Optional[ThermalConfig] = None,
+                 crash_on_limit: bool = True) -> None:
+        self.config = config or ThermalConfig()
+        self.config.validate()
+        self.crash_on_limit = crash_on_limit
+        self.reset()
+
+    def reset(self) -> None:
+        """Settle at the idle operating temperature."""
+        self._temp = self.steady_state(self.config.idle_power_w)
+
+    @property
+    def temperature_c(self) -> float:
+        return self._temp
+
+    def steady_state(self, power_w: float) -> float:
+        """Settled junction temperature under constant dissipation."""
+        if power_w < 0:
+            raise SimulationError("negative power")
+        return self.config.ambient_c \
+            + self.config.r_theta_c_per_w * power_w
+
+    # -- simulation ----------------------------------------------------------
+
+    def step(self, power_w: float, dt: float) -> float:
+        """Advance ``dt`` seconds at ``power_w`` watts; returns temp."""
+        if dt <= 0:
+            raise SimulationError("dt must be positive")
+        target = self.steady_state(power_w)
+        alpha = 1.0 - np.exp(-dt / self.config.tau_s)
+        self._temp += alpha * (target - self._temp)
+        self._check()
+        return self._temp
+
+    def simulate(self, power_w: np.ndarray, dt: float) -> np.ndarray:
+        """Temperature trace for a power trace (one entry per step)."""
+        powers = np.asarray(power_w, dtype=np.float64)
+        if powers.ndim != 1:
+            raise SimulationError("power trace must be 1-D")
+        if np.any(powers < 0):
+            raise SimulationError("negative power in trace")
+        out = np.empty(powers.shape[0])
+        alpha = 1.0 - np.exp(-dt / self.config.tau_s)
+        temp = self._temp
+        base = self.config.ambient_c
+        r = self.config.r_theta_c_per_w
+        for k in range(powers.shape[0]):
+            temp += alpha * (base + r * powers[k] - temp)
+            out[k] = temp
+        self._temp = temp
+        self._check()
+        return out
+
+    def _check(self) -> None:
+        if self.crash_on_limit and self._temp >= self.config.crash_c:
+            raise SimulationError(
+                f"thermal shutdown: junction reached {self._temp:.1f} C "
+                f"(limit {self.config.crash_c:.1f} C) — the striker was "
+                "held on too long"
+            )
+
+    # -- couplings ----------------------------------------------------------
+
+    def delay_factor(self) -> float:
+        """Multiplicative delay penalty at the current temperature."""
+        excess = max(0.0, self._temp - self.config.ambient_c)
+        return 1.0 + self.config.delay_tempco_per_c * excess
+
+    def headroom_c(self) -> float:
+        """Degrees of margin before thermal shutdown."""
+        return self.config.crash_c - self._temp
+
+    def max_sustained_power_w(self) -> float:
+        """The dissipation that would settle exactly at the crash limit."""
+        return (self.config.crash_c - self.config.ambient_c) \
+            / self.config.r_theta_c_per_w

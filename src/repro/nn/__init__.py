@@ -1,0 +1,47 @@
+"""A compact numpy deep-learning library: enough to train LeNet-5.
+
+The paper trains its own LeNet-5 on MNIST, quantizes it to 8-bit fixed
+point (3 integer bits), and deploys it on the FPGA accelerator.  This
+package reproduces the software half of that pipeline: float32 training
+(conv/pool/dense/tanh + softmax cross-entropy + momentum SGD) and
+post-training quantization into the Q3.4 format the accelerator runs.
+"""
+
+from .fixed_point import FixedPointFormat, Q3_4, ACC_Q
+from .layers import (
+    Conv2D,
+    Dense,
+    Flatten,
+    Layer,
+    MaxPool2D,
+    ReLU,
+    Tanh,
+)
+from .model import Sequential, build_lenet5, build_probe_model
+from .loss import SoftmaxCrossEntropy
+from .optim import SGD
+from .train import TrainResult, Trainer, evaluate_accuracy
+from .quantize import QuantizedModel, quantize_model
+
+__all__ = [
+    "ACC_Q",
+    "Conv2D",
+    "Dense",
+    "FixedPointFormat",
+    "Flatten",
+    "Layer",
+    "MaxPool2D",
+    "Q3_4",
+    "QuantizedModel",
+    "ReLU",
+    "SGD",
+    "Sequential",
+    "SoftmaxCrossEntropy",
+    "Tanh",
+    "TrainResult",
+    "Trainer",
+    "build_lenet5",
+    "build_probe_model",
+    "evaluate_accuracy",
+    "quantize_model",
+]

@@ -1,0 +1,121 @@
+"""Fixed-point number formats and arithmetic.
+
+The victim model runs in the paper's format: 8-bit values with 3 integer
+bits and the rest mantissa.  :data:`Q3_4` is that format (1 sign + 3
+integer + 4 fraction bits); :data:`ACC_Q` is the wide accumulator DSP
+slices carry partial sums in, so only the final write-back re-quantizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from ..errors import QuantizationError
+
+__all__ = ["FixedPointFormat", "Q3_4", "ACC_Q"]
+
+ArrayLike = Union[float, int, np.ndarray]
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """A two's-complement (or unsigned) fixed-point format.
+
+    Parameters
+    ----------
+    total_bits:
+        Word width including the sign bit when signed.
+    frac_bits:
+        Bits to the right of the binary point; the quantization step is
+        ``2**-frac_bits``.
+    signed:
+        Two's-complement when True.
+    """
+
+    total_bits: int
+    frac_bits: int
+    signed: bool = True
+
+    def __post_init__(self) -> None:
+        if self.total_bits < 2 or self.total_bits > 64:
+            raise QuantizationError("total_bits must be in [2, 64]")
+        if self.frac_bits < 0 or self.frac_bits >= self.total_bits:
+            raise QuantizationError("frac_bits must be in [0, total_bits)")
+
+    # -- ranges ----------------------------------------------------------
+
+    @property
+    def scale(self) -> float:
+        """Value of one LSB."""
+        return 2.0 ** (-self.frac_bits)
+
+    @property
+    def int_min(self) -> int:
+        return -(1 << (self.total_bits - 1)) if self.signed else 0
+
+    @property
+    def int_max(self) -> int:
+        bits = self.total_bits - 1 if self.signed else self.total_bits
+        return (1 << bits) - 1
+
+    @property
+    def min_value(self) -> float:
+        return self.int_min * self.scale
+
+    @property
+    def max_value(self) -> float:
+        return self.int_max * self.scale
+
+    # -- conversions ----------------------------------------------------------
+
+    def quantize(self, values: ArrayLike) -> np.ndarray:
+        """Real values -> integer codes (round-to-nearest, saturating)."""
+        arr = np.asarray(values, dtype=np.float64)
+        if not np.all(np.isfinite(arr)):
+            raise QuantizationError("cannot quantize non-finite values")
+        codes = np.rint(arr / self.scale)
+        return np.clip(codes, self.int_min, self.int_max).astype(np.int64)
+
+    def dequantize(self, codes: ArrayLike) -> np.ndarray:
+        """Integer codes -> real values."""
+        return np.asarray(codes, dtype=np.float64) * self.scale
+
+    def round_trip(self, values: ArrayLike) -> np.ndarray:
+        """Real values snapped onto the representable grid."""
+        return self.dequantize(self.quantize(values))
+
+    def wrap(self, codes: ArrayLike) -> np.ndarray:
+        """Two's-complement wraparound into range (overflow semantics of
+        hardware adders, as opposed to the saturating quantizer)."""
+        arr = np.asarray(codes, dtype=np.int64)
+        span = 1 << self.total_bits
+        wrapped = np.mod(arr - self.int_min, span) + self.int_min
+        return wrapped
+
+    def representable(self, values: ArrayLike) -> Union[bool, np.ndarray]:
+        """True where a real value lies exactly on the grid and in range."""
+        arr = np.asarray(values, dtype=np.float64)
+        on_grid = np.isclose(arr / self.scale, np.rint(arr / self.scale))
+        in_range = (arr >= self.min_value) & (arr <= self.max_value)
+        out = on_grid & in_range
+        return bool(out) if out.ndim == 0 else out
+
+    def quantization_error(self, values: ArrayLike) -> np.ndarray:
+        """Absolute error introduced by round-tripping ``values``."""
+        arr = np.asarray(values, dtype=np.float64)
+        return np.abs(arr - self.round_trip(arr))
+
+    def describe(self) -> str:
+        sign = "s" if self.signed else "u"
+        int_bits = self.total_bits - self.frac_bits - (1 if self.signed else 0)
+        return f"{sign}Q{int_bits}.{self.frac_bits}"
+
+
+#: The paper's deployment format: 8 bits, 3 integer bits, 4-bit mantissa.
+Q3_4 = FixedPointFormat(total_bits=8, frac_bits=4, signed=True)
+
+#: Wide DSP accumulator format (partial sums never saturate mid-layer).
+ACC_Q = FixedPointFormat(total_bits=32, frac_bits=8, signed=True)

@@ -1,0 +1,19 @@
+"""Trainable and functional layers for the numpy DNN library."""
+
+from .base import Layer, Parameter
+from .conv import Conv2D
+from .dense import Dense
+from .pool import MaxPool2D
+from .activations import ReLU, Tanh
+from .flatten import Flatten
+
+__all__ = [
+    "Conv2D",
+    "Dense",
+    "Flatten",
+    "Layer",
+    "MaxPool2D",
+    "Parameter",
+    "ReLU",
+    "Tanh",
+]

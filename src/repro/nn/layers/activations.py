@@ -1,0 +1,51 @@
+"""Elementwise activations.
+
+The paper's fixed-point deployment uses the hyperbolic tangent — its
+[-1, 1] range maps cleanly onto the 8-bit fixed-point grid.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ...errors import ConfigError
+from .base import Layer
+
+__all__ = ["Tanh", "ReLU"]
+
+
+class Tanh(Layer):
+    """Hyperbolic tangent; gradient ``1 - tanh^2``."""
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        super().__init__(name)
+        self._cache: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = np.tanh(x)
+        self._cache = out
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise ConfigError(f"{self.name}: backward before forward")
+        return grad_out * (1.0 - self._cache ** 2)
+
+
+class ReLU(Layer):
+    """Rectified linear unit (offered for architecture extensions)."""
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        super().__init__(name)
+        self._cache: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._cache = x > 0
+        return np.where(self._cache, x, 0.0)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise ConfigError(f"{self.name}: backward before forward")
+        return grad_out * self._cache

@@ -1,0 +1,80 @@
+"""Layer and parameter abstractions.
+
+Layers implement ``forward`` (caching whatever ``backward`` needs) and
+``backward`` (returning the gradient w.r.t. their input while
+accumulating parameter gradients into :class:`Parameter` objects).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ...errors import ConfigError
+
+__all__ = ["Parameter", "Layer"]
+
+
+class Parameter:
+    """A trainable tensor and its gradient accumulator."""
+
+    def __init__(self, value: np.ndarray, name: str) -> None:
+        self.value = np.asarray(value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+        self.name = name
+
+    def zero_grad(self) -> None:
+        self.grad.fill(0.0)
+
+    @property
+    def shape(self):
+        return self.value.shape
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Parameter {self.name} {self.value.shape}>"
+
+
+class Layer:
+    """Base layer: subclasses override forward/backward.
+
+    ``training`` toggles behaviours that differ between fit and eval
+    (none of the current layers need it, but the flag keeps the API
+    conventional for extensions like dropout).
+    """
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        self.name = name or type(self).__name__
+        self.training = True
+
+    def parameters(self) -> List[Parameter]:
+        """Trainable parameters (empty for functional layers)."""
+        return []
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def output_shape(self, input_shape):
+        """Shape propagation for sanity checks; default: unchanged."""
+        return input_shape
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return {p.name: p.value.copy() for p in self.parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        for p in self.parameters():
+            if p.name not in state:
+                raise ConfigError(f"missing parameter '{p.name}' in state dict")
+            incoming = np.asarray(state[p.name], dtype=np.float64)
+            if incoming.shape != p.value.shape:
+                raise ConfigError(
+                    f"shape mismatch for '{p.name}': "
+                    f"{incoming.shape} vs {p.value.shape}"
+                )
+            p.value = incoming.copy()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.name}>"

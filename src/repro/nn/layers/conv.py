@@ -1,0 +1,100 @@
+"""2-D convolution layer (NCHW, square kernels) via im2col."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ...errors import ConfigError
+from ..ops import col2im, conv_output_size, im2col
+from .base import Layer, Parameter
+
+__all__ = ["Conv2D"]
+
+
+class Conv2D(Layer):
+    """``out = weight (*) x + bias`` with He-scaled initialization.
+
+    Parameters
+    ----------
+    in_channels, out_channels, kernel:
+        Filter geometry; ``weight`` has shape
+        ``(out_channels, in_channels, kernel, kernel)``.
+    stride, pad:
+        Spatial stepping and zero padding.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel: int,
+        stride: int = 1,
+        pad: int = 0,
+        rng: Optional[np.random.Generator] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(name)
+        if min(in_channels, out_channels, kernel, stride) < 1 or pad < 0:
+            raise ConfigError("invalid Conv2D geometry")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel = kernel
+        self.stride = stride
+        self.pad = pad
+        gen = rng if rng is not None else np.random.default_rng(0)
+        fan_in = in_channels * kernel * kernel
+        scale = np.sqrt(2.0 / fan_in)
+        self.weight = Parameter(
+            gen.normal(0.0, scale, size=(out_channels, in_channels, kernel, kernel)),
+            name=f"{self.name}.weight",
+        )
+        self.bias = Parameter(np.zeros(out_channels), name=f"{self.name}.bias")
+        self._cache: Optional[Tuple] = None
+
+    def parameters(self) -> List[Parameter]:
+        return [self.weight, self.bias]
+
+    def output_shape(self, input_shape: Tuple[int, int, int]) -> Tuple[int, int, int]:
+        c, h, w = input_shape
+        if c != self.in_channels:
+            raise ConfigError(
+                f"{self.name}: expected {self.in_channels} channels, got {c}"
+            )
+        return (
+            self.out_channels,
+            conv_output_size(h, self.kernel, self.stride, self.pad),
+            conv_output_size(w, self.kernel, self.stride, self.pad),
+        )
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n = x.shape[0]
+        cols, out_h, out_w = im2col(x, self.kernel, self.stride, self.pad)
+        w_mat = self.weight.value.reshape(self.out_channels, -1)
+        out = cols @ w_mat.T + self.bias.value
+        out = out.reshape(n, out_h, out_w, self.out_channels).transpose(0, 3, 1, 2)
+        self._cache = (x.shape, cols)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise ConfigError(f"{self.name}: backward before forward")
+        x_shape, cols = self._cache
+        n, _, out_h, out_w = grad_out.shape
+        grad_mat = grad_out.transpose(0, 2, 3, 1).reshape(-1, self.out_channels)
+        w_mat = self.weight.value.reshape(self.out_channels, -1)
+        self.weight.grad += (grad_mat.T @ cols).reshape(self.weight.value.shape)
+        self.bias.grad += grad_mat.sum(axis=0)
+        grad_cols = grad_mat @ w_mat
+        return col2im(grad_cols, x_shape, self.kernel, self.stride, self.pad)
+
+    def mac_count(self, input_shape: Tuple[int, int, int]) -> int:
+        """Multiply-accumulates per single-image inference — the quantity
+        the accelerator schedule (and the paper's layer-vulnerability
+        argument) is built on."""
+        _, out_h, out_w = self.output_shape(input_shape)
+        return (
+            out_h * out_w * self.out_channels
+            * self.in_channels * self.kernel * self.kernel
+        )

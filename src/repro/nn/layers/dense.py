@@ -1,0 +1,67 @@
+"""Fully connected layer."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ...errors import ConfigError
+from .base import Layer, Parameter
+
+__all__ = ["Dense"]
+
+
+class Dense(Layer):
+    """``out = x @ weight.T + bias`` with He-scaled initialization."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: Optional[np.random.Generator] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(name)
+        if in_features < 1 or out_features < 1:
+            raise ConfigError("Dense features must be >= 1")
+        self.in_features = in_features
+        self.out_features = out_features
+        gen = rng if rng is not None else np.random.default_rng(0)
+        scale = np.sqrt(2.0 / in_features)
+        self.weight = Parameter(
+            gen.normal(0.0, scale, size=(out_features, in_features)),
+            name=f"{self.name}.weight",
+        )
+        self.bias = Parameter(np.zeros(out_features), name=f"{self.name}.bias")
+        self._cache: Optional[np.ndarray] = None
+
+    def parameters(self) -> List[Parameter]:
+        return [self.weight, self.bias]
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        if input_shape != (self.in_features,):
+            raise ConfigError(
+                f"{self.name}: expected ({self.in_features},), got {input_shape}"
+            )
+        return (self.out_features,)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ConfigError(
+                f"{self.name}: expected (N, {self.in_features}), got {x.shape}"
+            )
+        self._cache = x
+        return x @ self.weight.value.T + self.bias.value
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise ConfigError(f"{self.name}: backward before forward")
+        x = self._cache
+        self.weight.grad += grad_out.T @ x
+        self.bias.grad += grad_out.sum(axis=0)
+        return grad_out @ self.weight.value
+
+    def mac_count(self, input_shape: Tuple[int, ...] = ()) -> int:
+        """Multiply-accumulates per single-image inference."""
+        return self.in_features * self.out_features

@@ -1,0 +1,35 @@
+"""Flatten NCHW feature maps into (N, features) vectors."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ...errors import ConfigError
+from .base import Layer
+
+__all__ = ["Flatten"]
+
+
+class Flatten(Layer):
+    """Reshape ``(N, C, H, W) -> (N, C*H*W)``; the adjoint unreshapes."""
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        super().__init__(name)
+        self._shape: Optional[Tuple[int, ...]] = None
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        size = 1
+        for dim in input_shape:
+            size *= dim
+        return (size,)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise ConfigError(f"{self.name}: backward before forward")
+        return grad_out.reshape(self._shape)

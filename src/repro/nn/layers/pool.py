@@ -1,0 +1,69 @@
+"""2x2-style max pooling (NCHW)."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ...errors import ConfigError
+from .base import Layer
+
+__all__ = ["MaxPool2D"]
+
+
+class MaxPool2D(Layer):
+    """Non-overlapping max pooling with ``kernel == stride``.
+
+    Gradients route to the argmax of each window; ties break toward the
+    first element, as a hardware comparator tree would.
+    """
+
+    def __init__(self, kernel: int = 2, name: Optional[str] = None) -> None:
+        super().__init__(name)
+        if kernel < 1:
+            raise ConfigError("pool kernel must be >= 1")
+        self.kernel = kernel
+        self._cache: Optional[Tuple] = None
+
+    def output_shape(self, input_shape: Tuple[int, int, int]) -> Tuple[int, int, int]:
+        c, h, w = input_shape
+        if h % self.kernel or w % self.kernel:
+            raise ConfigError(
+                f"{self.name}: {h}x{w} not divisible by pool kernel {self.kernel}"
+            )
+        return (c, h // self.kernel, w // self.kernel)
+
+    def _windows(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        k = self.kernel
+        if h % k or w % k:
+            raise ConfigError(f"{self.name}: input {h}x{w} not divisible by {k}")
+        return x.reshape(n, c, h // k, k, w // k, k).transpose(0, 1, 2, 4, 3, 5)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        k = self.kernel
+        flat = self._windows(x).reshape(n, c, h // k, w // k, k * k)
+        argmax = flat.argmax(axis=-1)
+        out = np.take_along_axis(flat, argmax[..., None], axis=-1)[..., 0]
+        self._cache = (x.shape, argmax)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise ConfigError(f"{self.name}: backward before forward")
+        x_shape, argmax = self._cache
+        n, c, h, w = x_shape
+        k = self.kernel
+        grad_flat = np.zeros((n, c, h // k, w // k, k * k), dtype=grad_out.dtype)
+        np.put_along_axis(grad_flat, argmax[..., None], grad_out[..., None], axis=-1)
+        grad = grad_flat.reshape(n, c, h // k, w // k, k, k)
+        grad = grad.transpose(0, 1, 2, 4, 3, 5).reshape(n, c, h, w)
+        return grad
+
+    def op_count(self, input_shape: Tuple[int, int, int]) -> int:
+        """Pooling window reductions per single-image inference (one op
+        per output pixel in the accelerator's schedule)."""
+        c, oh, ow = self.output_shape(input_shape)
+        return c * oh * ow

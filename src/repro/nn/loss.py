@@ -1,0 +1,43 @@
+"""Softmax cross-entropy loss (fused for numerical stability)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import ConfigError
+
+__all__ = ["SoftmaxCrossEntropy", "softmax"]
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax with max-shift stabilization."""
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+class SoftmaxCrossEntropy:
+    """Mean cross-entropy over a batch, with the fused softmax gradient."""
+
+    def forward(self, logits: np.ndarray,
+                labels: np.ndarray) -> Tuple[float, np.ndarray]:
+        """Returns ``(loss, grad_logits)``.
+
+        ``labels`` are integer class indices of shape ``(N,)``.
+        """
+        if logits.ndim != 2:
+            raise ConfigError(f"logits must be (N, classes), got {logits.shape}")
+        n = logits.shape[0]
+        labels = np.asarray(labels)
+        if labels.shape != (n,):
+            raise ConfigError(f"labels must be ({n},), got {labels.shape}")
+        if labels.min() < 0 or labels.max() >= logits.shape[1]:
+            raise ConfigError("label index out of range")
+        probs = softmax(logits)
+        picked = probs[np.arange(n), labels]
+        loss = float(-np.log(np.maximum(picked, 1e-12)).mean())
+        grad = probs.copy()
+        grad[np.arange(n), labels] -= 1.0
+        return loss, grad / n

@@ -1,0 +1,158 @@
+"""Sequential container and the paper's LeNet-5 architecture."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError
+from .layers import Conv2D, Dense, Flatten, Layer, MaxPool2D, Parameter, Tanh
+
+__all__ = ["Sequential", "build_lenet5", "build_cnn7", "build_probe_model",
+           "LENET5_INPUT_SHAPE", "PROBE_INPUT_SHAPE"]
+
+#: Grayscale 28x28 input (MNIST geometry).
+LENET5_INPUT_SHAPE: Tuple[int, int, int] = (1, 28, 28)
+
+#: Input of the three-layer probe model (paper Fig 1b's preliminary study).
+PROBE_INPUT_SHAPE: Tuple[int, int, int] = (4, 28, 28)
+
+
+class Sequential:
+    """A feed-forward stack of layers with shared train/eval utilities."""
+
+    def __init__(self, layers: Iterable[Layer], name: str = "model") -> None:
+        self.layers: List[Layer] = list(layers)
+        if not self.layers:
+            raise ConfigError("a model needs at least one layer")
+        self.name = name
+
+    # -- execution ----------------------------------------------------------
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    __call__ = forward
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Class indices for a batch of inputs."""
+        return np.argmax(self.forward(x), axis=1)
+
+    # -- parameter plumbing ----------------------------------------------------
+
+    def parameters(self) -> List[Parameter]:
+        return [p for layer in self.layers for p in layer.parameters()]
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def set_training(self, training: bool) -> None:
+        for layer in self.layers:
+            layer.training = training
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        state: Dict[str, np.ndarray] = {}
+        for layer in self.layers:
+            state.update(layer.state_dict())
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        for layer in self.layers:
+            layer.load_state_dict(state)
+
+    def parameter_count(self) -> int:
+        return sum(int(np.prod(p.shape)) for p in self.parameters())
+
+    # -- introspection ----------------------------------------------------------
+
+    def layer(self, name: str) -> Layer:
+        for layer in self.layers:
+            if layer.name == name:
+                return layer
+        raise ConfigError(f"no layer named '{name}' in '{self.name}'")
+
+    def summary(self, input_shape: Tuple[int, ...]) -> str:
+        lines = [f"{self.name} (input {input_shape}):"]
+        shape = input_shape
+        for layer in self.layers:
+            shape = layer.output_shape(shape)
+            params = sum(int(np.prod(p.shape)) for p in layer.parameters())
+            lines.append(f"  {layer.name:<10} -> {shape}  ({params} params)")
+        return "\n".join(lines)
+
+
+def build_cnn7(rng: Optional[np.random.Generator] = None) -> Sequential:
+    """A deeper victim (the paper's future work: more architectures).
+
+    Three convolution stages with two poolings, then two FC layers —
+    28x28 grayscale in, 10 classes out.  Same tanh/fixed-point regime as
+    LeNet-5, so it deploys on the same accelerator unchanged.
+    """
+    gen = rng if rng is not None else np.random.default_rng(13)
+    return Sequential(
+        [
+            Conv2D(1, 8, kernel=3, pad=1, rng=gen, name="c7_conv1"),
+            Tanh(name="c7_tanh1"),
+            MaxPool2D(kernel=2, name="c7_pool1"),
+            Conv2D(8, 16, kernel=3, pad=1, rng=gen, name="c7_conv2"),
+            Tanh(name="c7_tanh2"),
+            MaxPool2D(kernel=2, name="c7_pool2"),
+            Conv2D(16, 32, kernel=3, pad=0, rng=gen, name="c7_conv3"),
+            Tanh(name="c7_tanh3"),
+            Flatten(name="c7_flatten"),
+            Dense(32 * 5 * 5, 64, rng=gen, name="c7_fc1"),
+            Tanh(name="c7_tanh4"),
+            Dense(64, 10, rng=gen, name="c7_fc2"),
+        ],
+        name="cnn7",
+    )
+
+
+def build_probe_model(rng: Optional[np.random.Generator] = None) -> Sequential:
+    """The paper's preliminary-study workload (Fig 1b): a max-pooling
+    layer, a 3x3 convolution, and a 1x1 convolution run back to back, so
+    the TDC trace shows three distinct per-layer-type patterns."""
+    gen = rng if rng is not None else np.random.default_rng(11)
+    return Sequential(
+        [
+            MaxPool2D(kernel=2, name="maxpool"),
+            Conv2D(4, 8, kernel=3, pad=1, rng=gen, name="conv3x3"),
+            Tanh(name="tanh_a"),
+            Conv2D(8, 8, kernel=1, pad=0, rng=gen, name="conv1x1"),
+            Tanh(name="tanh_b"),
+        ],
+        name="probe3",
+    )
+
+
+def build_lenet5(rng: Optional[np.random.Generator] = None) -> Sequential:
+    """The victim architecture (paper Fig 5a).
+
+    Conv1 (6@5x5, pad 2) -> tanh -> Pool1 (2x2) -> Conv2 (16@5x5) -> tanh
+    -> FC1 (1600 -> 120) -> tanh -> FC2 (120 -> 10).  The FC2 scores feed a
+    softmax at the loss/readout stage.
+    """
+    gen = rng if rng is not None else np.random.default_rng(7)
+    return Sequential(
+        [
+            Conv2D(1, 6, kernel=5, pad=2, rng=gen, name="conv1"),
+            Tanh(name="tanh1"),
+            MaxPool2D(kernel=2, name="pool1"),
+            Conv2D(6, 16, kernel=5, pad=0, rng=gen, name="conv2"),
+            Tanh(name="tanh2"),
+            Flatten(name="flatten"),
+            Dense(16 * 10 * 10, 120, rng=gen, name="fc1"),
+            Tanh(name="tanh3"),
+            Dense(120, 10, rng=gen, name="fc2"),
+        ],
+        name="lenet5",
+    )

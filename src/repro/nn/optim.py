@@ -1,0 +1,49 @@
+"""Stochastic gradient descent with classical momentum."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..errors import ConfigError
+from .layers.base import Parameter
+
+__all__ = ["SGD"]
+
+
+class SGD:
+    """``v = mu*v - lr*grad; p += v`` per parameter."""
+
+    def __init__(self, parameters: List[Parameter], lr: float = 0.05,
+                 momentum: float = 0.9, weight_decay: float = 0.0) -> None:
+        if not parameters:
+            raise ConfigError("optimizer needs parameters")
+        if lr <= 0:
+            raise ConfigError("learning rate must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise ConfigError("momentum must be in [0, 1)")
+        if weight_decay < 0:
+            raise ConfigError("weight_decay must be >= 0")
+        self.parameters = parameters
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: Dict[int, np.ndarray] = {
+            id(p): np.zeros_like(p.value) for p in parameters
+        }
+
+    def step(self) -> None:
+        """Apply one update from the accumulated gradients."""
+        for p in self.parameters:
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.value
+            v = self._velocity[id(p)]
+            v *= self.momentum
+            v -= self.lr * grad
+            p.value += v
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.zero_grad()

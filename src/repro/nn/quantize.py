@@ -1,0 +1,268 @@
+"""Post-training quantization into the accelerator's fixed-point formats.
+
+The deployment pipeline mirrors the paper's: weights and activations are
+8-bit fixed point with 3 integer bits and a 4-bit mantissa (:data:`~repro.
+nn.fixed_point.Q3_4`); products and partial sums accumulate at the wider
+DSP precision and are only re-quantized at layer write-back, after the
+tanh lookup.  (The paper mentions an "unsigned fixed-point quantization
+method"; tanh activations are symmetric about zero, so this reproduction
+uses the signed variant of the same 8-bit / 3-integer-bit format — the
+grid resolution, and hence the quantization behaviour, is identical.)
+
+:class:`QuantizedModel` is the *functional reference* for the FPGA
+accelerator: :mod:`repro.accel` executes the same integer dataflow
+op-by-op (and injects faults into it); a cross-check test pins the two
+paths to identical outputs in the fault-free case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple, Union
+
+import numpy as np
+
+from ..errors import ConfigError, QuantizationError
+from .fixed_point import FixedPointFormat, Q3_4
+from .layers import Conv2D, Dense, Flatten, MaxPool2D, Tanh
+from .model import Sequential
+from .ops import im2col
+
+__all__ = [
+    "QConv",
+    "QDense",
+    "QFlatten",
+    "QPool",
+    "QTanh",
+    "QuantizedModel",
+    "quantize_model",
+]
+
+
+@dataclass
+class QConv:
+    """Quantized convolution stage: integer weights, wide accumulation."""
+
+    name: str
+    w_codes: np.ndarray  # (OC, IC, k, k) int64 in weight format
+    b_codes: np.ndarray  # (OC,) int64 in product scale
+    stride: int
+    pad: int
+
+    kind: str = "conv"
+
+    def unfold(self, x_codes: np.ndarray) -> Tuple[np.ndarray, np.ndarray, int, int]:
+        """im2col of the integer activations plus the weight matrix."""
+        kernel = self.w_codes.shape[-1]
+        cols, out_h, out_w = im2col(x_codes, kernel, self.stride, self.pad)
+        w_mat = self.w_codes.reshape(self.w_codes.shape[0], -1)
+        return cols, w_mat, out_h, out_w
+
+    def forward_codes(self, x_codes: np.ndarray) -> np.ndarray:
+        """Integer accumulation at product scale; shape (N, OC, OH, OW)."""
+        n = x_codes.shape[0]
+        cols, w_mat, out_h, out_w = self.unfold(x_codes)
+        acc = cols @ w_mat.T + self.b_codes
+        return acc.reshape(n, out_h, out_w, -1).transpose(0, 3, 1, 2)
+
+    def mac_count(self, in_shape: Tuple[int, int, int]) -> int:
+        oc, ic, k, _ = self.w_codes.shape
+        from .ops import conv_output_size
+
+        oh = conv_output_size(in_shape[1], k, self.stride, self.pad)
+        ow = conv_output_size(in_shape[2], k, self.stride, self.pad)
+        return oh * ow * oc * ic * k * k
+
+
+@dataclass
+class QDense:
+    """Quantized fully connected stage."""
+
+    name: str
+    w_codes: np.ndarray  # (OUT, IN) int64
+    b_codes: np.ndarray  # (OUT,) int64 in product scale
+
+    kind: str = "dense"
+
+    def forward_codes(self, x_codes: np.ndarray) -> np.ndarray:
+        return x_codes @ self.w_codes.T + self.b_codes
+
+    def mac_count(self, in_shape=()) -> int:
+        return int(self.w_codes.shape[0] * self.w_codes.shape[1])
+
+
+@dataclass
+class QPool:
+    """Max pooling on integer codes (order-preserving, so exact)."""
+
+    name: str
+    kernel: int
+
+    kind: str = "pool"
+
+    def forward_codes(self, x_codes: np.ndarray) -> np.ndarray:
+        n, c, h, w = x_codes.shape
+        k = self.kernel
+        if h % k or w % k:
+            raise ConfigError(f"{self.name}: {h}x{w} not divisible by {k}")
+        windows = x_codes.reshape(n, c, h // k, k, w // k, k)
+        return windows.max(axis=(3, 5))
+
+    def op_count(self, in_shape: Tuple[int, int, int]) -> int:
+        c, h, w = in_shape
+        return c * (h // self.kernel) * (w // self.kernel)
+
+
+@dataclass
+class QTanh:
+    """Hardware tanh: accumulator codes -> activation codes via an ideal
+    lookup table (dequantize, tanh, re-quantize)."""
+
+    name: str
+    acc_frac_bits: int
+    act_format: FixedPointFormat
+
+    kind: str = "tanh"
+
+    def forward_codes(self, acc_codes: np.ndarray) -> np.ndarray:
+        real = np.asarray(acc_codes, dtype=np.float64) * 2.0 ** (-self.acc_frac_bits)
+        return self.act_format.quantize(np.tanh(real))
+
+
+@dataclass
+class QFlatten:
+    """NCHW codes -> (N, features) codes."""
+
+    name: str
+
+    kind: str = "flatten"
+
+    def forward_codes(self, x_codes: np.ndarray) -> np.ndarray:
+        return x_codes.reshape(x_codes.shape[0], -1)
+
+
+QStage = Union[QConv, QDense, QPool, QTanh, QFlatten]
+
+
+class QuantizedModel:
+    """A fixed-point LeNet-5 ready for accelerator deployment.
+
+    Parameters
+    ----------
+    stages:
+        The integer dataflow, in execution order.
+    act_format / weight_format:
+        Fixed-point formats of activations and weights (both Q3.4 here).
+    """
+
+    def __init__(self, stages: List[QStage],
+                 act_format: FixedPointFormat = Q3_4,
+                 weight_format: FixedPointFormat = Q3_4,
+                 name: str = "lenet5_q") -> None:
+        if not stages:
+            raise ConfigError("quantized model needs stages")
+        self.stages = stages
+        self.act_format = act_format
+        self.weight_format = weight_format
+        self.name = name
+
+    @property
+    def product_frac_bits(self) -> int:
+        return self.act_format.frac_bits + self.weight_format.frac_bits
+
+    # -- inference ----------------------------------------------------------
+
+    def quantize_input(self, images: np.ndarray) -> np.ndarray:
+        """Real-valued images -> activation codes."""
+        return self.act_format.quantize(images)
+
+    def forward_codes(self, x_codes: np.ndarray) -> np.ndarray:
+        """Integer-domain forward pass; returns the final accumulator
+        codes (FC2 scores at product scale)."""
+        codes = x_codes
+        for stage in self.stages:
+            codes = stage.forward_codes(codes)
+        return codes
+
+    def forward(self, images: np.ndarray) -> np.ndarray:
+        """Real-valued logits (dequantized final scores)."""
+        scores = self.forward_codes(self.quantize_input(images))
+        return np.asarray(scores, dtype=np.float64) * 2.0 ** (-self.product_frac_bits)
+
+    def predict(self, images: np.ndarray) -> np.ndarray:
+        """Class indices (argmax of the 10 prediction scores)."""
+        return np.argmax(self.forward(images), axis=1)
+
+    def accuracy(self, images: np.ndarray, labels: np.ndarray,
+                 batch_size: int = 256) -> float:
+        """Top-1 accuracy, evaluated in batches."""
+        correct = 0
+        for start in range(0, images.shape[0], batch_size):
+            preds = self.predict(images[start:start + batch_size])
+            correct += int((preds == labels[start:start + batch_size]).sum())
+        return correct / images.shape[0]
+
+    # -- introspection ----------------------------------------------------------
+
+    def stage(self, name: str) -> QStage:
+        for stage in self.stages:
+            if stage.name == name:
+                return stage
+        raise ConfigError(f"no stage named '{name}' in '{self.name}'")
+
+    def compute_stages(self) -> List[QStage]:
+        """Stages that execute MAC/pool work on the accelerator (the ones
+        an attack can target)."""
+        return [s for s in self.stages if s.kind in ("conv", "dense", "pool")]
+
+
+def quantize_model(model: Sequential,
+                   act_format: FixedPointFormat = Q3_4,
+                   weight_format: FixedPointFormat = Q3_4) -> QuantizedModel:
+    """Post-training quantization of a trained float Sequential model.
+
+    Weights quantize to ``weight_format``; biases quantize directly at
+    the *product* scale so they add into accumulators without shifting.
+    Layer order must be hardware-realizable: every Conv2D/Dense must be
+    followed by Tanh (or be the final scoring layer).
+    """
+    product_frac = act_format.frac_bits + weight_format.frac_bits
+    bias_format = FixedPointFormat(total_bits=32, frac_bits=product_frac,
+                                   signed=True)
+    stages: List[QStage] = []
+    for layer in model.layers:
+        if isinstance(layer, Conv2D):
+            stages.append(
+                QConv(
+                    name=layer.name,
+                    w_codes=weight_format.quantize(layer.weight.value),
+                    b_codes=bias_format.quantize(layer.bias.value),
+                    stride=layer.stride,
+                    pad=layer.pad,
+                )
+            )
+        elif isinstance(layer, Dense):
+            stages.append(
+                QDense(
+                    name=layer.name,
+                    w_codes=weight_format.quantize(layer.weight.value),
+                    b_codes=bias_format.quantize(layer.bias.value),
+                )
+            )
+        elif isinstance(layer, MaxPool2D):
+            stages.append(QPool(name=layer.name, kernel=layer.kernel))
+        elif isinstance(layer, Tanh):
+            stages.append(
+                QTanh(name=layer.name, acc_frac_bits=product_frac,
+                      act_format=act_format)
+            )
+        elif isinstance(layer, Flatten):
+            stages.append(QFlatten(name=layer.name))
+        else:
+            raise QuantizationError(
+                f"layer '{layer.name}' ({type(layer).__name__}) has no "
+                "quantized equivalent"
+            )
+    return QuantizedModel(stages, act_format=act_format,
+                          weight_format=weight_format,
+                          name=f"{model.name}_q")

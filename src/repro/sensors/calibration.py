@@ -1,0 +1,102 @@
+"""Phase calibration of the TDC sensor.
+
+The paper "calibrates theta to get approximately 90 consecutive '1'
+outputs when the FPGA works under a nominal voltage".  We reproduce that
+procedure: sweep the MMCM's quantized phase grid, measure the averaged
+idle readout at each candidate, and pick the phase whose readout lands
+closest to the target without saturating.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..config import TDCConfig
+from ..errors import CalibrationError
+from ..fpga.clocking import ClockManagementTile
+from .delay import GateDelayModel
+from .tdc import TDCSensor
+
+__all__ = ["calibrate_theta", "theta_for_target"]
+
+
+def theta_for_target(config: TDCConfig, delay_model: GateDelayModel,
+                     target: Optional[int] = None,
+                     voltage: float = 1.0) -> float:
+    """Closed-form theta placing the readout at ``target`` for ``voltage``.
+
+    Used as the analytic starting point for the grid search (and directly
+    by tests).  ``theta = L_LUT*t_lut(v) + (target + 0.5) * t_carry(v)``.
+    """
+    config.validate()
+    goal = config.calibration_target if target is None else target
+    if not 0 < goal < config.l_carry:
+        raise CalibrationError(f"target {goal} outside the carry chain")
+    factor = float(delay_model.factor(voltage))
+    t_lut_line = config.l_lut * config.lut_stage_delay_nominal * factor
+    t_carry = config.carry_stage_delay_nominal * factor
+    return t_lut_line + (goal + 0.5) * t_carry
+
+
+def calibrate_theta(
+    config: TDCConfig,
+    delay_model: GateDelayModel,
+    cmt: ClockManagementTile,
+    idle_voltage: float = 1.0,
+    target: Optional[int] = None,
+    samples: int = 32,
+    rng: Optional[np.random.Generator] = None,
+    tolerance: int = 3,
+    drive_period_s: float = 5e-9,
+) -> Tuple[float, int]:
+    """Find the MMCM phase setting that centers the sensor readout.
+
+    Sweeps candidate phases on the MMCM's quantized grid around the
+    analytic solution, measuring ``samples`` jittered readouts at each
+    and averaging (as the real attacker would, over idle traces).
+
+    Returns ``(theta, achieved_readout)``.
+
+    A phase offset between two same-frequency clocks lives in
+    ``[0, period)``, so candidates beyond ``drive_period_s`` are not
+    realizable — a delay line longer than the drive period can never be
+    calibrated, which is the "counting error" regime the paper warns
+    about when choosing ``F_dr`` / ``L_LUT`` / ``L_CARRY``.
+
+    Raises
+    ------
+    CalibrationError
+        If no realizable phase puts the averaged readout within
+        ``tolerance`` counts of the target.
+    """
+    goal = config.calibration_target if target is None else target
+    ideal = theta_for_target(config, delay_model, goal, idle_voltage)
+    # Candidate grid: +-8 MMCM phase steps around the analytic theta.
+    step = cmt.phase_resolution_s
+    candidates = [cmt.quantize_phase(ideal + k * step) for k in range(-8, 9)]
+
+    best_theta: Optional[float] = None
+    best_readout = -1
+    best_err = float("inf")
+    for theta in candidates:
+        if theta <= 0 or theta >= drive_period_s:
+            continue
+        sensor = TDCSensor(config, delay_model, theta, rng=rng)
+        readouts = [sensor.readout(idle_voltage) for _ in range(samples)]
+        mean = float(np.mean(readouts))
+        if mean <= 0 or mean >= config.l_carry:
+            continue  # saturated: counting error
+        err = abs(mean - goal)
+        if err < best_err:
+            best_err = err
+            best_theta = theta
+            best_readout = int(round(mean))
+    if best_theta is None or best_err > tolerance:
+        raise CalibrationError(
+            f"no MMCM phase reaches readout {goal}+-{tolerance} at "
+            f"{idle_voltage:.3f} V (best error {best_err:.1f}); check "
+            "F_dr / L_LUT / L_CARRY against the counting-error criterion"
+        )
+    return best_theta, best_readout

@@ -1,0 +1,24 @@
+"""The power striker: DRC-clean power-wasting circuits (paper Section III-C).
+
+A striker *cell* is one LUT6_2 configured as two parallel inverters whose
+outputs O6/O5 each close a loop through an LDCE latch.  With the latches
+held transparent and Start asserted, both loops self-oscillate; because
+the loops pass through storage elements, vendor design rule checking does
+not classify them as combinational loops — unlike the classic ring
+oscillator, which is banned.
+
+A striker *bank* instantiates thousands of cells behind one Start signal;
+its aggregate dynamic current is what collapses the shared PDN.
+"""
+
+from .cell import StrikerCell, build_striker_cell_netlist
+from .ro_cell import build_ro_cell_netlist
+from .bank import StrikerBank, effective_bank_current
+
+__all__ = [
+    "StrikerBank",
+    "effective_bank_current",
+    "StrikerCell",
+    "build_ro_cell_netlist",
+    "build_striker_cell_netlist",
+]

@@ -1,0 +1,34 @@
+"""Classic ring-oscillator power-waster — the banned baseline.
+
+Prior power-hammering work (FPGAhammer, power-wasting-circuits surveys)
+built grids of ring oscillators.  They draw comparable current but close
+combinational loops, so DRC-enforcing clouds reject the bitstream.  This
+builder exists so tests and the E6 bench can demonstrate the rejection
+and compare per-LUT attack efficiency against the latch-loop cell.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import ConfigError
+from ..fpga.netlist import Netlist
+from ..fpga.primitives import LUT1
+
+__all__ = ["build_ro_cell_netlist"]
+
+
+def build_ro_cell_netlist(index: int = 0, stages: int = 3,
+                          netlist: Optional[Netlist] = None) -> Netlist:
+    """One ring-oscillator power-waster cell (odd inverter ring).
+
+    Always fails ``LUTLP-1``: the ring is a purely combinational cycle.
+    """
+    if stages < 3 or stages % 2 == 0:
+        raise ConfigError("an RO needs an odd stage count >= 3")
+    nl = netlist if netlist is not None else Netlist(f"ro_cell_{index}")
+    inverters = [nl.add_cell(LUT1(f"ro[{index}].inv[{k}]", init=0b01))
+                 for k in range(stages)]
+    for k, inv in enumerate(inverters):
+        nl.connect(inv, "O", inverters[(k + 1) % stages], "I0")
+    return nl

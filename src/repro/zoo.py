@@ -1,0 +1,171 @@
+"""Pretrained-victim zoo: train LeNet-5 once, cache, reuse everywhere.
+
+Experiments, benches and examples all need the same artifact: a LeNet-5
+trained on the synthetic digit task to the paper's ~96% operating point,
+plus its Q3.4 quantization.  Training takes on the order of a minute, so
+the result (weights + dataset) is cached on disk keyed by the training
+recipe; any recipe change invalidates the cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from .data import SyntheticMNIST
+from .errors import ReproError
+from .nn import (
+    QuantizedModel,
+    Sequential,
+    Trainer,
+    build_lenet5,
+    evaluate_accuracy,
+    quantize_model,
+)
+from .nn.model import build_cnn7
+
+__all__ = ["MODEL_BUILDERS", "PretrainedVictim", "get_pretrained",
+           "default_cache_dir"]
+
+#: Victim architectures the zoo can train (all share the training recipe).
+MODEL_BUILDERS = {
+    "lenet5": build_lenet5,
+    "cnn7": build_cnn7,
+}
+
+#: Training recipe (part of the cache key).
+RECIPE = {
+    "n_train": 6000,
+    "n_test": 1500,
+    "data_seed": 42,
+    "init_seed": 7,
+    "train_seed": 0,
+    "lr": 0.05,
+    "momentum": 0.9,
+    "batch_size": 64,
+    "epochs": 12,
+    "target_accuracy": 0.97,
+}
+
+
+@dataclass
+class PretrainedVictim:
+    """Everything the attack experiments need about the victim model."""
+
+    model: Sequential
+    quantized: QuantizedModel
+    dataset: SyntheticMNIST
+    float_accuracy: float
+    quantized_accuracy: float
+    name: str = "lenet5"
+
+    def summary(self) -> str:
+        return (
+            f"{self.name} victim: float acc {self.float_accuracy:.4f}, "
+            f"Q3.4 acc {self.quantized_accuracy:.4f} "
+            f"(paper's LeNet-5 reports 96.17% on-FPGA)"
+        )
+
+
+def default_cache_dir() -> Path:
+    """Cache location (override with REPRO_CACHE_DIR)."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path(__file__).resolve().parents[2] / ".cache"
+
+
+def _recipe_key(model_name: str) -> str:
+    blob = json.dumps({**RECIPE, "model": model_name},
+                      sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+def _train(dataset: SyntheticMNIST, model_name: str) -> Sequential:
+    builder = MODEL_BUILDERS[model_name]
+    model = builder(rng=np.random.default_rng(RECIPE["init_seed"]))
+    trainer = Trainer(
+        model,
+        lr=RECIPE["lr"],
+        momentum=RECIPE["momentum"],
+        batch_size=RECIPE["batch_size"],
+        seed=RECIPE["train_seed"],
+    )
+    result = trainer.fit(
+        dataset.train_images,
+        dataset.train_labels,
+        dataset.test_images,
+        dataset.test_labels,
+        epochs=RECIPE["epochs"],
+        target_accuracy=RECIPE["target_accuracy"],
+    )
+    if result.test_accuracy < 0.90:
+        raise ReproError(
+            f"victim training underperformed: {result.test_accuracy:.3f} "
+            "test accuracy; the attack experiments need the ~96% regime"
+        )
+    return model
+
+
+def get_pretrained(cache_dir: Optional[Path] = None,
+                   force_retrain: bool = False,
+                   model_name: str = "lenet5") -> PretrainedVictim:
+    """Load (or train and cache) a victim model and its dataset."""
+    if model_name not in MODEL_BUILDERS:
+        raise ReproError(
+            f"unknown victim '{model_name}'; have {sorted(MODEL_BUILDERS)}"
+        )
+    directory = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{model_name}_victim_{_recipe_key(model_name)}.npz"
+
+    dataset: Optional[SyntheticMNIST] = None
+    model = MODEL_BUILDERS[model_name](
+        rng=np.random.default_rng(RECIPE["init_seed"])
+    )
+    if path.exists() and not force_retrain:
+        archive = np.load(path)
+        state = {k[len("param/"):]: archive[k] for k in archive.files
+                 if k.startswith("param/")}
+        model.load_state_dict(state)
+        dataset = SyntheticMNIST(
+            train_images=archive["data/train_images"],
+            train_labels=archive["data/train_labels"],
+            test_images=archive["data/test_images"],
+            test_labels=archive["data/test_labels"],
+        )
+    else:
+        dataset = SyntheticMNIST.generate(
+            n_train=RECIPE["n_train"],
+            n_test=RECIPE["n_test"],
+            seed=RECIPE["data_seed"],
+        )
+        model = _train(dataset, model_name)
+        payload = {f"param/{k}": v for k, v in model.state_dict().items()}
+        payload.update(
+            {
+                "data/train_images": dataset.train_images,
+                "data/train_labels": dataset.train_labels,
+                "data/test_images": dataset.test_images,
+                "data/test_labels": dataset.test_labels,
+            }
+        )
+        np.savez_compressed(path, **payload)
+
+    quantized = quantize_model(model)
+    float_acc = evaluate_accuracy(model, dataset.test_images, dataset.test_labels)
+    q_acc = quantized.accuracy(dataset.test_images, dataset.test_labels)
+    return PretrainedVictim(
+        model=model,
+        quantized=quantized,
+        dataset=dataset,
+        float_accuracy=float_acc,
+        quantized_accuracy=q_acc,
+        name=model_name,
+    )

@@ -1,0 +1,93 @@
+"""Accelerator activity (side-channel source) tests."""
+
+import numpy as np
+import pytest
+
+from repro.accel import inference_current_trace, layer_current
+from repro.accel.activity import STALL_CURRENT
+from repro.accel.tenant import VictimAccelerator
+from repro.errors import ConfigError
+
+
+class TestLayerCurrent:
+    def test_conv_draws_most(self, lenet_engine, config):
+        by_name = {w.plan.name: layer_current(w, config.accel)
+                   for w in lenet_engine.schedule.windows()}
+        assert by_name["conv2"] > by_name["fc1"]
+        assert by_name["conv2"] > by_name["pool1"]
+        assert min(by_name.values()) > STALL_CURRENT
+
+    def test_conv_visibility_over_stall(self, lenet_engine, config):
+        """Conv activity must droop several TDC counts (Fig 1b contrast)."""
+        conv = layer_current(lenet_engine.schedule.window("conv2"),
+                             config.accel)
+        r_total = (config.pdn.r_prompt + config.pdn.r_resonant
+                   + config.pdn.r_static)
+        droop_counts = conv * r_total * 500  # ~500 counts/V sensitivity
+        assert droop_counts > 3
+
+
+class TestInferenceTrace:
+    def test_length_and_tick_expansion(self, lenet_engine, config):
+        trace = inference_current_trace(lenet_engine.schedule, config.accel,
+                                        config.clock, rng=None)
+        expected = lenet_engine.schedule.total_cycles \
+            * config.clock.ticks_per_victim_cycle
+        assert trace.shape == (expected,)
+
+    def test_stalls_at_floor(self, lenet_engine, config):
+        trace = inference_current_trace(lenet_engine.schedule, config.accel,
+                                        config.clock, rng=None)
+        assert trace[0] == pytest.approx(STALL_CURRENT)
+        assert trace[-1] == pytest.approx(STALL_CURRENT)
+
+    def test_layer_windows_hot(self, lenet_engine, config):
+        trace = inference_current_trace(lenet_engine.schedule, config.accel,
+                                        config.clock, rng=None)
+        tpc = config.clock.ticks_per_victim_cycle
+        conv2 = lenet_engine.schedule.window("conv2")
+        segment = trace[conv2.start_cycle * tpc:conv2.end_cycle * tpc]
+        assert segment.min() > 10 * STALL_CURRENT
+
+    def test_jitter_modulates(self, lenet_engine, config):
+        trace = inference_current_trace(lenet_engine.schedule, config.accel,
+                                        config.clock,
+                                        rng=np.random.default_rng(0))
+        tpc = config.clock.ticks_per_victim_cycle
+        conv2 = lenet_engine.schedule.window("conv2")
+        segment = trace[conv2.start_cycle * tpc:conv2.end_cycle * tpc]
+        assert segment.std() > 0
+
+    def test_multiple_images(self, probe_engine, config):
+        single = inference_current_trace(probe_engine.schedule, config.accel,
+                                         config.clock, rng=None, images=1)
+        double = inference_current_trace(probe_engine.schedule, config.accel,
+                                         config.clock, rng=None, images=2)
+        assert double.shape[0] > 2 * single.shape[0] - 1
+
+    def test_zero_images_rejected(self, probe_engine, config):
+        with pytest.raises(ConfigError):
+            inference_current_trace(probe_engine.schedule, config.accel,
+                                    config.clock, images=0)
+
+
+class TestVictimTenant:
+    def test_periodic_inference(self, probe_engine):
+        tenant = VictimAccelerator(probe_engine)
+        period = tenant.inference_period_cycles
+        tpc = probe_engine.config.clock.ticks_per_victim_cycle
+        assert tenant.cycle_of_tick(0) == 0
+        assert tenant.cycle_of_tick(period * tpc) == 0  # wrapped
+
+    def test_draws_by_schedule(self, probe_engine):
+        tenant = VictimAccelerator(probe_engine)
+        tpc = probe_engine.config.clock.ticks_per_victim_cycle
+        conv = probe_engine.schedule.window("conv3x3")
+        hot = tenant.current_draw(conv.start_cycle * tpc)
+        cold = tenant.current_draw(0)  # initial stall
+        assert hot > 10 * cold
+
+    def test_budget_claims_dsps_and_bram(self, lenet_engine):
+        tenant = VictimAccelerator(lenet_engine)
+        assert tenant.budget.dsp_slices == 32
+        assert tenant.budget.bram_36k >= 40  # ~196k 8-bit params

@@ -1,0 +1,215 @@
+"""Fault-aware engine tests, including scalar-DSP cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.accel import AcceleratorEngine, StruckCycles
+from repro.dsp import DSP48Slice, FaultType, TimingFaultModel
+from repro.errors import ConfigError
+from repro.sensors import GateDelayModel
+
+
+def strikes(layer, cycles, volts):
+    cycles = np.asarray(cycles, dtype=np.int64)
+    return StruckCycles(layer, cycles, np.full(cycles.shape, volts))
+
+
+class TestCleanPath:
+    def test_matches_quantized_model(self, lenet_engine, victim):
+        images = victim.dataset.test_images[:16]
+        np.testing.assert_allclose(
+            lenet_engine.infer_clean(images),
+            victim.quantized.forward(images),
+        )
+
+    def test_attack_with_no_strikes_is_clean(self, lenet_engine, victim):
+        images = victim.dataset.test_images[:8]
+        out = lenet_engine.infer_under_attack(images, [])
+        np.testing.assert_allclose(out, lenet_engine.infer_clean(images))
+
+    def test_strikes_at_nominal_voltage_harmless(self, lenet_engine, victim):
+        images = victim.dataset.test_images[:8]
+        plan = lenet_engine.schedule.window("conv2").plan
+        sc = strikes("conv2", np.arange(0, plan.cycles, 7), 1.0)
+        out = lenet_engine.infer_under_attack(images, [sc])
+        np.testing.assert_allclose(out, lenet_engine.infer_clean(images))
+
+
+class TestInjection:
+    def test_deep_strikes_corrupt_conv_outputs(self, lenet_engine, victim):
+        images = victim.dataset.test_images[:8]
+        plan = lenet_engine.schedule.window("conv2").plan
+        sc = strikes("conv2", np.arange(0, plan.cycles, 3), 0.90)
+        out = lenet_engine.infer_under_attack(images, [sc])
+        clean = lenet_engine.infer_clean(images)
+        assert not np.allclose(out, clean)
+
+    def test_deep_strikes_flip_predictions(self, lenet_engine, victim):
+        images = victim.dataset.test_images[:32]
+        labels = victim.dataset.test_labels[:32]
+        plan = lenet_engine.schedule.window("conv2").plan
+        sc = strikes("conv2", np.arange(plan.cycles), 0.90)
+        acc = lenet_engine.accuracy_under_attack(images, labels, [sc])
+        clean = (lenet_engine.predict_clean(images) == labels).mean()
+        assert acc < clean - 0.3
+
+    def test_pool_strikes_mostly_harmless(self, lenet_engine, victim):
+        """LUT-fabric pooling has huge slack: same droop, no damage."""
+        images = victim.dataset.test_images[:32]
+        labels = victim.dataset.test_labels[:32]
+        plan = lenet_engine.schedule.window("pool1").plan
+        sc = strikes("pool1", np.arange(plan.cycles), 0.93)
+        acc = lenet_engine.accuracy_under_attack(images, labels, [sc])
+        clean = (lenet_engine.predict_clean(images) == labels).mean()
+        assert acc >= clean - 0.05
+
+    def test_duplication_faults_absorbed_in_fc(self, lenet_engine, victim):
+        """Paper Section IV-A: duplication faults are 'absorbed by more
+        serial summations' in FC layers — forcing every fault to the
+        duplication class must leave FC1 essentially unharmed, while the
+        same fault count in the random class does real damage."""
+        images = victim.dataset.test_images[:48]
+        labels = victim.dataset.test_labels[:48]
+        clean = (lenet_engine.predict_clean(images) == labels).mean()
+        plan = lenet_engine.schedule.window("fc1").plan
+        cycles = np.linspace(0, plan.cycles - 1, 3000).astype(int)
+        volts = np.full(3000, 0.935)
+        dup = StruckCycles("fc1", cycles, volts, force_class="duplication")
+        rnd = StruckCycles("fc1", cycles, volts, force_class="random")
+        dup_acc = lenet_engine.accuracy_under_attack(images, labels, [dup])
+        rnd_acc = lenet_engine.accuracy_under_attack(images, labels, [rnd])
+        assert clean - dup_acc <= 0.05
+        assert rnd_acc < dup_acc - 0.1
+
+    def test_conv_damage_driven_by_random_faults(self, lenet_engine, victim):
+        """Paper Section IV-A: conv damage comes from random faults."""
+        images = victim.dataset.test_images[:48]
+        labels = victim.dataset.test_labels[:48]
+        plan = lenet_engine.schedule.window("conv2").plan
+        cycles = np.linspace(0, plan.cycles - 1, 2000).astype(int)
+        volts = np.full(2000, 0.94)
+        dup = StruckCycles("conv2", cycles, volts, force_class="duplication")
+        rnd = StruckCycles("conv2", cycles, volts, force_class="random")
+        dup_acc = lenet_engine.accuracy_under_attack(images, labels, [dup])
+        rnd_acc = lenet_engine.accuracy_under_attack(images, labels, [rnd])
+        assert rnd_acc < dup_acc - 0.1
+
+    def test_forced_class_validation(self):
+        with pytest.raises(ConfigError):
+            StruckCycles("fc1", np.array([1]), np.array([0.9]),
+                         force_class="weird")
+
+    def test_multiple_layers_struck_together(self, lenet_engine, victim):
+        """One plan can hit several layers (as blind plans do)."""
+        images = victim.dataset.test_images[:16]
+        conv1 = lenet_engine.schedule.window("conv1").plan
+        conv2 = lenet_engine.schedule.window("conv2").plan
+        struck = [
+            strikes("conv1", np.arange(0, conv1.cycles, 2), 0.94),
+            strikes("conv2", np.arange(0, conv2.cycles, 2), 0.94),
+        ]
+        both = lenet_engine.infer_under_attack(images, struck)
+        only_conv2 = lenet_engine.infer_under_attack(images, struck[1:])
+        clean = lenet_engine.infer_clean(images)
+        # Striking both corrupts at least as many outputs as one layer.
+        assert (both != clean).sum() >= (only_conv2 != clean).sum() * 0.5
+        assert not np.allclose(both, clean)
+
+    def test_pool_faults_under_extreme_droop(self, lenet_engine, victim):
+        """The pool path does fault eventually — at droop far beyond any
+        realizable strike, exercising the dup/random pixel branches."""
+        images = victim.dataset.test_images[:6]
+        plan = lenet_engine.schedule.window("pool1").plan
+        sc = strikes("pool1", np.arange(plan.cycles), 0.70)
+        out = lenet_engine.infer_under_attack(images, [sc])
+        clean = lenet_engine.infer_clean(images)
+        assert not np.allclose(out, clean)
+
+    def test_pool_fault_values_stay_in_activation_range(self, lenet_engine,
+                                                        victim):
+        images = victim.dataset.test_images[:4]
+        codes = victim.quantized.quantize_input(images)
+        pool_stage = victim.quantized.stage("pool1")
+        # Run the injector directly on the pool output codes.
+        conv1 = victim.quantized.stage("conv1")
+        tanh1 = victim.quantized.stages[1]
+        x = tanh1.forward_codes(conv1.forward_codes(codes))
+        pooled = pool_stage.forward_codes(x)
+        plan = lenet_engine.schedule.window("pool1").plan
+        sc = strikes("pool1", np.arange(plan.cycles), 0.70)
+        faulted = lenet_engine._fault_pool(plan, sc, pooled.copy())
+        fmt = victim.quantized.act_format
+        assert faulted.min() >= fmt.int_min
+        assert faulted.max() <= fmt.int_max
+
+    def test_unknown_layer_rejected(self, lenet_engine, victim):
+        images = victim.dataset.test_images[:2]
+        with pytest.raises(ConfigError):
+            lenet_engine.infer_under_attack(
+                images, [strikes("conv9", [0], 0.9)]
+            )
+
+    def test_duplicate_layer_entries_rejected(self, lenet_engine, victim):
+        images = victim.dataset.test_images[:2]
+        with pytest.raises(ConfigError):
+            lenet_engine.infer_under_attack(
+                images,
+                [strikes("conv2", [0], 0.9), strikes("conv2", [1], 0.9)],
+            )
+
+    def test_cycle_out_of_layer_rejected(self, lenet_engine, victim):
+        images = victim.dataset.test_images[:2]
+        plan = lenet_engine.schedule.window("conv2").plan
+        with pytest.raises(ConfigError):
+            lenet_engine.infer_under_attack(
+                images, [strikes("conv2", [plan.cycles], 0.9)]
+            )
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(ConfigError):
+            StruckCycles("conv2", np.array([1, 2]), np.array([0.9]))
+
+    def test_outcomes_vary_per_image(self, lenet_engine, victim):
+        """Fault sampling must be independent across inferences."""
+        image = victim.dataset.test_images[:1]
+        batch = np.repeat(image, 12, axis=0)
+        plan = lenet_engine.schedule.window("conv2").plan
+        sc = strikes("conv2", np.arange(0, plan.cycles, 11), 0.935)
+        out = lenet_engine.infer_under_attack(batch, [sc])
+        assert len({tuple(np.round(row, 6)) for row in out}) > 1
+
+
+class TestScalarCrossValidation:
+    """The vectorized injector and the scalar DSP pipeline share one fault
+    model; their fault *rates* on identical op streams must agree."""
+
+    def test_fault_rate_agreement_on_dense_stream(self, config):
+        rng = np.random.default_rng(123)
+        delay_model = GateDelayModel(config.delay)
+        volts = 0.93
+
+        # Scalar path: stream random products through a DSP48 pipeline.
+        fm_scalar = TimingFaultModel(config.dsp, delay_model,
+                                     np.random.default_rng(1))
+        dsp = DSP48Slice(config.dsp, fm_scalar)
+        trials = 3000
+        ops = rng.integers(-100, 100, size=(trials + dsp.depth, 3))
+        faults = 0
+        outs = []
+        for a, b, d in ops:
+            outs.append(dsp.clock(int(a), int(b), int(d), voltage=volts))
+        expected = [DSP48Slice.compute(int(a), int(b), int(d))
+                    for a, b, d in ops]
+        wrong = sum(
+            1 for k, out in enumerate(outs[dsp.depth:trials + dsp.depth])
+            if out.value != expected[k]
+        )
+        scalar_rate = wrong / trials
+
+        # Vectorized path: same voltage, same fault model.
+        fm_vec = TimingFaultModel(config.dsp, delay_model,
+                                  np.random.default_rng(2))
+        outcomes = fm_vec.decide_array(np.full(trials, volts))
+        vec_rate = np.count_nonzero(outcomes != FaultType.NONE) / trials
+
+        assert scalar_rate == pytest.approx(vec_rate, abs=0.04)

@@ -1,0 +1,93 @@
+"""Analysis metrics, report tables, and experiment registry tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    EXPERIMENTS,
+    accuracy_drop_series,
+    experiment,
+    fixed_table,
+    markdown_table,
+    monotone_fraction,
+    series_auc,
+)
+from repro.errors import ConfigError
+
+
+class TestMetrics:
+    def test_accuracy_drop_series(self):
+        drops = accuracy_drop_series(0.98, [0.98, 0.90, 0.80])
+        np.testing.assert_allclose(drops, [0.0, 0.08, 0.18])
+
+    def test_drop_series_rejects_bad_values(self):
+        with pytest.raises(ConfigError):
+            accuracy_drop_series(0.5, [1.5])
+
+    def test_monotone_fraction_perfect(self):
+        assert monotone_fraction([5, 4, 3, 2]) == 1.0
+        assert monotone_fraction([1, 2, 3], decreasing=False) == 1.0
+
+    def test_monotone_fraction_with_noise(self):
+        assert monotone_fraction([5, 4, 4.1, 3]) == pytest.approx(2 / 3)
+
+    def test_monotone_trivial_series(self):
+        assert monotone_fraction([1.0]) == 1.0
+
+    def test_series_auc_flat(self):
+        assert series_auc([0, 1, 2], [0.9, 0.9, 0.9]) == pytest.approx(0.9)
+
+    def test_series_auc_orders_attacks(self):
+        x = [0, 1000, 2000]
+        weak = series_auc(x, [0.98, 0.97, 0.96])
+        strong = series_auc(x, [0.98, 0.90, 0.80])
+        assert strong < weak
+
+    def test_series_auc_validation(self):
+        with pytest.raises(ConfigError):
+            series_auc([1], [0.5])
+        with pytest.raises(ConfigError):
+            series_auc([2, 1], [0.5, 0.6])
+
+
+class TestReports:
+    def test_fixed_table_aligned(self):
+        table = fixed_table(["layer", "acc"], [["conv2", 0.8934],
+                                               ["fc1", 0.98]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1
+
+    def test_markdown_table_shape(self):
+        table = markdown_table(["a", "b"], [[1, 2.5]])
+        lines = table.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert "2.5000" in lines[2]
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        expected = {f"E{k}" for k in range(1, 11)}
+        assert set(EXPERIMENTS) == expected
+
+    def test_every_experiment_names_a_bench(self):
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parents[2]
+        for exp in EXPERIMENTS.values():
+            assert (root / exp.bench).exists(), \
+                f"{exp.exp_id} bench missing: {exp.bench}"
+
+    def test_lookup(self):
+        assert experiment("E3").paper_artifact == "Fig 5(b)"
+        with pytest.raises(ConfigError):
+            experiment("E99")
+
+    def test_design_doc_lists_every_experiment(self):
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parents[2]
+        text = (root / "DESIGN.md").read_text()
+        for exp_id in EXPERIMENTS:
+            assert exp_id in text, f"{exp_id} missing from DESIGN.md"

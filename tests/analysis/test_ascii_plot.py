@@ -1,0 +1,63 @@
+"""ASCII plotting helper tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import bar_chart, line_chart, sparkline
+from repro.errors import ConfigError
+
+
+class TestSparkline:
+    def test_width_respected(self):
+        line = sparkline(np.sin(np.linspace(0, 10, 1000)), width=60)
+        assert len(line) == 60
+
+    def test_short_series_not_padded(self):
+        assert len(sparkline([1, 2, 3], width=60)) == 3
+
+    def test_extremes_use_extreme_glyphs(self):
+        line = sparkline([0, 0, 0, 10], width=10)
+        assert line[-1] == "@"
+        assert line[0] == " "
+
+    def test_constant_series(self):
+        line = sparkline([5, 5, 5])
+        assert len(set(line)) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            sparkline([])
+
+
+class TestLineChart:
+    def test_shape(self):
+        chart = line_chart(np.linspace(0, 1, 50), height=8, width=40,
+                           title="t")
+        lines = chart.splitlines()
+        assert lines[0] == "t"
+        assert len(lines) == 1 + 1 + 8 + 1  # title + top + rows + bottom
+
+    def test_min_max_labels(self):
+        chart = line_chart([1.0, 3.0, 2.0], height=4)
+        assert "3.000" in chart and "1.000" in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            line_chart([])
+
+
+class TestBarChart:
+    def test_rows_and_scaling(self):
+        chart = bar_chart(["a", "bb"], [1.0, 2.0], width=10)
+        lines = chart.splitlines()
+        assert len(lines) == 2
+        assert lines[1].count("█") == 10
+        assert lines[0].count("█") == 5
+
+    def test_mismatched_inputs_rejected(self):
+        with pytest.raises(ConfigError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_zero_values(self):
+        chart = bar_chart(["x"], [0.0])
+        assert "x" in chart

@@ -1,0 +1,92 @@
+"""Per-class damage analysis tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.confusion import (
+    attack_class_flow,
+    confusion_matrix,
+    per_class_recall,
+)
+from repro.errors import ConfigError
+
+
+class TestConfusionMatrix:
+    def test_perfect_predictions_diagonal(self):
+        y = np.array([0, 1, 2, 2])
+        m = confusion_matrix(y, y, n_classes=3)
+        np.testing.assert_array_equal(np.diag(m), [1, 1, 2])
+        assert m.sum() == 4
+
+    def test_off_diagonal_counts(self):
+        m = confusion_matrix(np.array([0, 0]), np.array([1, 1]), n_classes=2)
+        assert m[0, 1] == 2 and m[0, 0] == 0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            confusion_matrix(np.array([0]), np.array([0, 1]))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigError):
+            confusion_matrix(np.array([0]), np.array([5]), n_classes=3)
+
+    def test_recall(self):
+        m = np.array([[3, 1], [0, 4]])
+        np.testing.assert_allclose(per_class_recall(m), [0.75, 1.0])
+
+    def test_recall_absent_class_nan(self):
+        m = np.array([[0, 0], [1, 3]])
+        recall = per_class_recall(m)
+        assert np.isnan(recall[0]) and recall[1] == 0.75
+
+
+class TestClassFlow:
+    def test_flow_accounting(self):
+        y = np.array([0, 0, 1, 1, 2])
+        clean = np.array([0, 0, 1, 2, 2])   # 4 correct, 1 wrong
+        attacked = np.array([0, 1, 1, 1, 0])  # breaks #1, heals #3, breaks #4
+        flow = attack_class_flow(y, clean, attacked, n_classes=3)
+        assert flow.broken == 2
+        assert flow.healed == 1
+        assert flow.unchanged_correct == 2
+        assert flow.unchanged_wrong == 0
+        assert flow.net_damage == 1
+
+    def test_worst_class(self):
+        y = np.array([0] * 10 + [1] * 10)
+        clean = y.copy()
+        attacked = y.copy()
+        attacked[:6] = 1  # class 0 loses 60% recall
+        flow = attack_class_flow(y, clean, attacked, n_classes=2)
+        assert flow.worst_class == 0
+        assert flow.worst_class_drop == pytest.approx(0.6)
+
+    def test_top_transitions_ranked(self):
+        y = np.zeros(10, dtype=int)
+        clean = np.zeros(10, dtype=int)
+        attacked = np.array([1, 1, 1, 2, 2, 0, 0, 0, 0, 0])
+        flow = attack_class_flow(y, clean, attacked, n_classes=3)
+        assert flow.top_transitions[0] == (0, 1, 3)
+        assert flow.top_transitions[1] == (0, 2, 2)
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            attack_class_flow(np.array([0]), np.array([0]),
+                              np.array([0, 1]))
+
+    def test_on_real_attack_output(self, victim, lenet_engine):
+        """Integration: class flow from a real strike campaign."""
+        import numpy as np
+
+        from repro.core import DeepStrike
+
+        attack = DeepStrike(lenet_engine, rng=np.random.default_rng(7))
+        images = victim.dataset.test_images[:150]
+        labels = victim.dataset.test_labels[:150]
+        plan = attack.plan_for_layer("conv2", 4500)
+        clean = lenet_engine.predict_clean(images)
+        attacked = lenet_engine.predict_under_attack(images, plan.struck)
+        flow = attack_class_flow(labels, clean, attacked)
+        assert flow.broken + flow.unchanged_correct \
+            == int((clean == labels).sum())
+        assert flow.net_damage >= 0

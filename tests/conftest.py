@@ -1,0 +1,58 @@
+"""Shared fixtures: configs, boards, trained victims, probe engines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import default_config
+from repro.nn import build_probe_model, quantize_model
+from repro.nn.model import PROBE_INPUT_SHAPE
+from repro.sensors import GateDelayModel
+
+
+@pytest.fixture(scope="session")
+def config():
+    """The paper-calibrated default configuration (frozen; share freely)."""
+    return default_config()
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def delay_model(config):
+    return GateDelayModel(config.delay)
+
+
+@pytest.fixture(scope="session")
+def victim():
+    """The trained + quantized LeNet-5 victim (cached on disk)."""
+    from repro.zoo import get_pretrained
+
+    return get_pretrained()
+
+
+@pytest.fixture(scope="session")
+def probe_quantized():
+    """The 3-layer probe model (Fig 1b), quantized."""
+    return quantize_model(build_probe_model())
+
+
+@pytest.fixture(scope="session")
+def probe_engine(probe_quantized, config):
+    from repro.accel import AcceleratorEngine
+
+    return AcceleratorEngine(probe_quantized, config=config,
+                             rng=np.random.default_rng(99),
+                             input_shape=PROBE_INPUT_SHAPE)
+
+
+@pytest.fixture(scope="session")
+def lenet_engine(victim, config):
+    from repro.accel import AcceleratorEngine
+
+    return AcceleratorEngine(victim.quantized, config=config,
+                             rng=np.random.default_rng(77))

@@ -1,0 +1,134 @@
+"""DeepStrike planner and blind-baseline tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import BlindAttack, DeepStrike
+from repro.errors import SchedulerError
+
+
+@pytest.fixture(scope="module")
+def attack(lenet_engine_module):
+    return DeepStrike(lenet_engine_module, bank_cells=5000,
+                      rng=np.random.default_rng(17))
+
+
+@pytest.fixture(scope="module")
+def lenet_engine_module():
+    import numpy as np
+
+    from repro.accel import AcceleratorEngine
+    from repro.zoo import get_pretrained
+
+    return AcceleratorEngine(get_pretrained().quantized,
+                             rng=np.random.default_rng(55))
+
+
+class TestPlanning:
+    def test_plan_targets_requested_layer(self, attack):
+        plan = attack.plan_for_layer("conv2", 500)
+        assert plan.strikes_landed == 500
+        assert plan.wasted_strikes == 0
+        assert [s.layer_name for s in plan.struck] == ["conv2"]
+
+    def test_strikes_within_layer_window(self, attack, lenet_engine_module):
+        plan = attack.plan_for_layer("conv2", 300)
+        window = lenet_engine_module.schedule.window("conv2")
+        cycles = plan.struck[0].cycles
+        assert cycles.min() >= 0
+        assert cycles.max() < window.cycles
+
+    def test_scheme_delay_reaches_layer(self, attack, lenet_engine_module):
+        plan = attack.plan_for_layer("fc1", 100)
+        window = lenet_engine_module.schedule.window("fc1")
+        assert plan.trigger_cycle + plan.scheme.attack_delay \
+            == window.start_cycle
+
+    def test_first_layer_plan_trims_to_trigger(self, attack):
+        plan = attack.plan_for_layer("conv1", 100)
+        assert plan.scheme.attack_delay == 0
+        assert plan.strikes_landed == 100
+
+    def test_too_many_strikes_rejected(self, attack):
+        with pytest.raises(Exception):
+            attack.plan_for_layer("pool1", 100_000)
+
+    def test_strike_voltages_in_fault_regime(self, attack):
+        plan = attack.plan_for_layer("conv2", 1000)
+        v = plan.mean_strike_voltage()
+        assert 0.93 < v < 0.96  # the shallow-violation attack regime
+
+    def test_denser_strikes_not_shallower(self, attack):
+        sparse = attack.plan_for_layer("conv2", 200).mean_strike_voltage()
+        dense = attack.plan_for_layer("conv2", 4500).mean_strike_voltage()
+        assert dense <= sparse + 1e-6
+
+    def test_victim_activity_deepens_strikes(self, attack):
+        """Strikes during the busy conv layer land deeper than strikes in
+        the quiet FC layer (the paper's footnote: victim components
+        consume power and strengthen the injection)."""
+        conv = attack.plan_for_layer("conv2", 200).mean_strike_voltage()
+        fc = attack.plan_for_layer("fc1", 200).mean_strike_voltage()
+        assert conv < fc
+
+
+class TestExecution:
+    def test_outcome_fields(self, attack, lenet_engine_module):
+        from repro.zoo import get_pretrained
+
+        victim = get_pretrained()
+        images = victim.dataset.test_images[:64]
+        labels = victim.dataset.test_labels[:64]
+        plan = attack.plan_for_layer("conv2", 4000)
+        outcome = attack.execute(images, labels, plan)
+        assert outcome.target_layer == "conv2"
+        assert 0 <= outcome.attacked_accuracy <= outcome.clean_accuracy
+        assert outcome.accuracy_drop >= 0
+
+    def test_more_strikes_more_damage(self, attack):
+        from repro.zoo import get_pretrained
+
+        victim = get_pretrained()
+        images = victim.dataset.test_images[:96]
+        labels = victim.dataset.test_labels[:96]
+        few = attack.execute(images, labels,
+                             attack.plan_for_layer("conv2", 200))
+        many = attack.execute(images, labels,
+                              attack.plan_for_layer("conv2", 4500))
+        assert many.attacked_accuracy <= few.attacked_accuracy
+
+
+class TestBlindBaseline:
+    def test_random_strikes_scatter_across_layers(self, lenet_engine_module):
+        blind = BlindAttack(lenet_engine_module, bank_cells=5000,
+                            rng=np.random.default_rng(3))
+        plan = blind.plan_random(3000)
+        assert plan.strikes_landed + plan.wasted_strikes == 3000
+        assert plan.wasted_strikes > 0  # some always hit stalls
+        layers = {s.layer_name for s in plan.struck}
+        assert "fc1" in layers  # fc1 dominates the timeline
+
+    def test_blind_far_weaker_than_guided(self, lenet_engine_module):
+        from repro.zoo import get_pretrained
+
+        victim = get_pretrained()
+        images = victim.dataset.test_images[:96]
+        labels = victim.dataset.test_labels[:96]
+        guided = DeepStrike(lenet_engine_module, bank_cells=5000,
+                            rng=np.random.default_rng(5))
+        blind = BlindAttack(lenet_engine_module, bank_cells=5000,
+                            rng=np.random.default_rng(5))
+        g = guided.execute(images, labels, guided.plan_for_layer("conv2", 4500))
+        b = blind.execute(images, labels, blind.plan_random(4500))
+        assert b.attacked_accuracy >= g.attacked_accuracy
+        assert g.accuracy_drop >= 2 * b.accuracy_drop or b.accuracy_drop < 0.02
+
+    def test_too_many_random_strikes_rejected(self, lenet_engine_module):
+        blind = BlindAttack(lenet_engine_module)
+        with pytest.raises(SchedulerError):
+            blind.plan_random(10 ** 7)
+
+    def test_zero_strikes_rejected(self, lenet_engine_module):
+        blind = BlindAttack(lenet_engine_module)
+        with pytest.raises(SchedulerError):
+            blind.plan_random(0)

@@ -1,0 +1,92 @@
+"""Multi-tenant attack-path tests (background activity wiring)."""
+
+import numpy as np
+import pytest
+
+from repro.core import DeepStrike
+from repro.core.profiler import SideChannelProfiler
+from repro.fpga import BackgroundActivity
+
+
+@pytest.fixture(scope="module")
+def attack(lenet_engine_module):
+    return DeepStrike(lenet_engine_module, bank_cells=5000,
+                      rng=np.random.default_rng(90))
+
+
+@pytest.fixture(scope="module")
+def lenet_engine_module():
+    from repro.accel import AcceleratorEngine
+    from repro.zoo import get_pretrained
+
+    return AcceleratorEngine(get_pretrained().quantized,
+                             rng=np.random.default_rng(91))
+
+
+class TestPlanUnderBackground:
+    def test_background_deepens_strikes(self, attack):
+        base = attack.plan_for_layer("conv2", 300)
+        noisy = attack.plan_under_background(
+            base, BackgroundActivity(burst_current=40e-3,
+                                     burst_start_prob=0.01,
+                                     burst_stop_prob=0.005), seed=1
+        )
+        assert noisy.mean_strike_voltage() < base.mean_strike_voltage()
+
+    def test_idle_background_changes_little(self, attack):
+        base = attack.plan_for_layer("conv2", 100)
+        quiet = attack.plan_under_background(
+            base, BackgroundActivity(base_current=1e-4,
+                                     burst_current=2e-4), seed=2
+        )
+        assert quiet.mean_strike_voltage() \
+            == pytest.approx(base.mean_strike_voltage(), abs=2e-3)
+
+    def test_plan_structure_preserved(self, attack):
+        base = attack.plan_for_layer("fc1", 50)
+        noisy = attack.plan_under_background(base, BackgroundActivity(),
+                                             seed=3)
+        assert noisy.scheme == base.scheme
+        assert noisy.n_strikes_requested == base.n_strikes_requested
+        assert noisy.strikes_landed == base.strikes_landed
+
+
+class TestRobustProfiling:
+    def _layered_trace(self, rng, phantom_at=None):
+        trace = np.full(6000, 92.0)
+        trace[500:1500] = 86    # conv-like
+        trace[2000:5200] = 90.4  # fc-like
+        if phantom_at is not None:
+            trace[phantom_at:phantom_at + 300] = 89.5
+        return trace + rng.normal(0, 0.4, size=6000)
+
+    def test_phantoms_filtered_by_cross_matching(self):
+        rng = np.random.default_rng(4)
+        prof = SideChannelProfiler(nominal_readout=92)
+        traces = [
+            self._layered_trace(rng, phantom_at=5500),
+            self._layered_trace(rng),  # phantom absent here
+            self._layered_trace(rng),
+        ]
+        library = prof.build_library(traces, dt=5e-9, robust=True)
+        assert len(library) == 2  # the two real layers only
+
+    def test_real_layers_survive_cross_matching(self):
+        rng = np.random.default_rng(5)
+        prof = SideChannelProfiler(nominal_readout=92)
+        traces = [self._layered_trace(rng) for _ in range(3)]
+        library = prof.build_library(traces, dt=5e-9, robust=True)
+        assert len(library) == 2
+        assert library[0].kind_guess == "conv"
+
+    def test_non_robust_mode_still_raises_on_disagreement(self):
+        rng = np.random.default_rng(6)
+        prof = SideChannelProfiler(nominal_readout=92)
+        traces = [
+            self._layered_trace(rng, phantom_at=5500),
+            self._layered_trace(rng),
+        ]
+        from repro.errors import ProfilingError
+
+        with pytest.raises(ProfilingError):
+            prof.build_library(traces, dt=5e-9, robust=False)

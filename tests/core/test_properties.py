@@ -1,0 +1,107 @@
+"""Hypothesis property tests on the attack stack's invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import AttackScheme, DNNStartDetector
+from repro.core.scheme import AttackScheme as Scheme
+from repro.errors import SchemeError
+from repro.sensors.encoder import zone_bits_from_readout
+
+
+class TestSchemeProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        delay=st.integers(min_value=0, max_value=500),
+        window=st.integers(min_value=1, max_value=8000),
+        strikes=st.integers(min_value=1, max_value=256),
+    )
+    def test_spread_over_stays_in_window(self, delay, window, strikes):
+        try:
+            scheme = Scheme.spread_over(delay, window, strikes)
+        except SchemeError:
+            return  # legitimately does not fit
+        starts = scheme.strike_start_cycles()
+        assert starts.shape == (strikes,)
+        assert starts[0] == delay
+        assert starts[-1] + scheme.strike_cycles <= delay + window
+        # Strictly increasing, uniformly spaced.
+        assert np.all(np.diff(starts) == scheme.attack_period)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        delay=st.integers(min_value=0, max_value=100),
+        period=st.integers(min_value=2, max_value=64),
+        count=st.integers(min_value=0, max_value=50),
+    )
+    def test_compiled_bits_count_matches(self, delay, period, count):
+        scheme = Scheme(delay, period, count)
+        bits = scheme.compile()
+        assert int(bits.sum()) == count * scheme.strike_cycles
+        assert bits.shape[0] == scheme.total_cycles
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        delay=st.integers(min_value=0, max_value=100),
+        period=st.integers(min_value=2, max_value=32),
+        count=st.integers(min_value=1, max_value=30),
+    )
+    def test_compiled_strikes_where_promised(self, delay, period, count):
+        scheme = Scheme(delay, period, count)
+        bits = scheme.compile()
+        for start in scheme.strike_start_cycles():
+            assert bits[start] == 1
+
+
+class TestDetectorProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        idle=st.integers(min_value=90, max_value=94),
+        wobble=st.integers(min_value=0, max_value=1),
+    )
+    def test_never_triggers_within_purified_band(self, idle, wobble):
+        """Any trace staying within the top zone's band cannot trigger."""
+        rng = np.random.default_rng(idle * 7 + wobble)
+        trace = idle + rng.integers(-wobble, wobble + 1, size=400)
+        det = DNNStartDetector()
+        if np.all(det.detector_input_trace(trace) >= 4):
+            assert det.find_trigger(trace) is None
+
+    @settings(max_examples=40, deadline=None)
+    @given(droop=st.integers(min_value=3, max_value=40))
+    def test_always_triggers_on_sustained_droop(self, droop):
+        trace = np.concatenate([np.full(50, 92), np.full(50, 92 - droop)])
+        det = DNNStartDetector()
+        hw_during = zone_bits_from_readout(92 - droop).sum()
+        hit = det.find_trigger(trace)
+        if hw_during <= det.trigger_hw:
+            assert hit is not None and hit >= 50
+        else:
+            assert hit is None
+
+
+class TestBucketProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_bucketing_partitions_strikes(self, seed, probe_attack):
+        """landed + wasted == total, cycles stay layer-relative."""
+        rng = np.random.default_rng(seed)
+        total_cycles = probe_attack.engine.schedule.total_cycles
+        n = 40
+        cycles = np.sort(rng.choice(total_cycles, size=n, replace=False))
+        volts = np.full(n, 0.95)
+        struck, wasted = probe_attack.bucket_strikes(cycles, volts)
+        landed = sum(s.count for s in struck)
+        assert landed + wasted == n
+        for entry in struck:
+            window = probe_attack.engine.schedule.window(entry.layer_name)
+            assert np.all(entry.cycles >= 0)
+            assert np.all(entry.cycles < window.cycles)
+
+
+@pytest.fixture(scope="module")
+def probe_attack(probe_engine):
+    from repro.core import DeepStrike
+
+    return DeepStrike(probe_engine, rng=np.random.default_rng(0))

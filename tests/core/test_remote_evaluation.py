@@ -1,0 +1,122 @@
+"""Remote channel framing and evaluation-record tests."""
+
+import numpy as np
+import pytest
+
+from repro.config import default_config
+from repro.core import AttackScheme, RemoteAttacker, UARTLink
+from repro.core.evaluation import AttackOutcome, LayerSweepResult, sweep_to_rows
+from repro.core.remote import FrameError, decode_frame, encode_frame
+from repro.core.scheduler import AttackScheduler
+from repro.sensors.calibration import theta_for_target
+from repro.sensors.delay import GateDelayModel
+from repro.striker import StrikerBank
+
+
+@pytest.fixture()
+def remote():
+    cfg = default_config()
+    bank = StrikerBank(100, cfg, structural_cells=4)
+    theta = theta_for_target(cfg.tdc, GateDelayModel(cfg.delay))
+    scheduler = AttackScheduler(cfg, bank, theta,
+                                rng=np.random.default_rng(0))
+    return RemoteAttacker(UARTLink(), scheduler)
+
+
+class TestFraming:
+    def test_round_trip(self):
+        frame = encode_frame(0x01, b"hello")
+        opcode, payload = decode_frame(frame)
+        assert opcode == 0x01 and payload == b"hello"
+
+    def test_empty_payload(self):
+        opcode, payload = decode_frame(encode_frame(0x80, b""))
+        assert opcode == 0x80 and payload == b""
+
+    def test_bad_sof_rejected(self):
+        frame = bytearray(encode_frame(0x01, b"x"))
+        frame[0] = 0x00
+        with pytest.raises(FrameError):
+            decode_frame(bytes(frame))
+
+    def test_corrupted_payload_rejected(self):
+        frame = bytearray(encode_frame(0x01, b"abcdef"))
+        frame[5] ^= 0xFF
+        with pytest.raises(FrameError):
+            decode_frame(bytes(frame))
+
+    def test_length_mismatch_rejected(self):
+        frame = encode_frame(0x01, b"abc") + b"\x00"
+        with pytest.raises(FrameError):
+            decode_frame(frame)
+
+    def test_short_frame_rejected(self):
+        with pytest.raises(FrameError):
+            decode_frame(b"\xa5\x01")
+
+
+class TestRemoteAttacker:
+    def test_upload_scheme_acked_and_loaded(self, remote):
+        scheme = AttackScheme(attack_delay=10, attack_period=5,
+                              number_of_attacks=3)
+        assert remote.upload_scheme(scheme)
+        assert remote.scheduler.signal_ram.loaded_bits == scheme.total_cycles
+
+    def test_invalid_scheme_nakked(self, remote):
+        # Craft a LOAD frame with period < width by hand.
+        import struct
+
+        payload = struct.pack("<IIII", 0, 1, 5, 3)
+        remote.link.host_send(encode_frame(0x01, payload))
+        remote.service_device()
+        opcode, _ = decode_frame(remote.link.host_recv())
+        assert opcode == 0x81  # NAK
+
+    def test_corrupted_frame_nakked(self, remote):
+        frame = bytearray(encode_frame(0x01, b"\x00" * 16))
+        frame[-1] ^= 0x55
+        remote.link.host_send(bytes(frame))
+        remote.service_device()
+        opcode, _ = decode_frame(remote.link.host_recv())
+        assert opcode == 0x81
+
+    def test_download_trace(self, remote):
+        for volts in (0.99, 0.98, 0.985):
+            remote.scheduler.on_voltage(0, volts)
+        trace = remote.download_trace(max_samples=2)
+        assert trace.shape == (2,)
+        assert np.all(trace > 0)
+
+    def test_unknown_opcode_nakked(self, remote):
+        remote.link.host_send(encode_frame(0x42, b""))
+        remote.service_device()
+        opcode, _ = decode_frame(remote.link.host_recv())
+        assert opcode == 0x81
+
+
+class TestEvaluationRecords:
+    def _outcome(self, layer, n, acc):
+        return AttackOutcome(
+            target_layer=layer, n_strikes=n, strikes_landed=n,
+            clean_accuracy=0.98, attacked_accuracy=acc,
+            mean_strike_voltage=0.949,
+        )
+
+    def test_accuracy_drop(self):
+        assert self._outcome("conv2", 10, 0.88).accuracy_drop \
+            == pytest.approx(0.10)
+
+    def test_sweep_result_series(self):
+        sweep = LayerSweepResult("conv2", [
+            self._outcome("conv2", 100, 0.97),
+            self._outcome("conv2", 1000, 0.90),
+        ])
+        assert sweep.strike_counts == [100, 1000]
+        assert sweep.max_drop == pytest.approx(0.08)
+
+    def test_table_rendering(self):
+        a = LayerSweepResult("conv2", [self._outcome("conv2", 100, 0.95)])
+        b = LayerSweepResult("blind", [self._outcome("blind", 100, 0.97)])
+        table = sweep_to_rows([a, b])
+        assert "conv2" in table and "blind" in table
+        assert "100" in table

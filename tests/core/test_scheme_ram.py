@@ -1,0 +1,137 @@
+"""Attacking scheme file and signal RAM tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import AttackScheme, SignalRAM
+from repro.errors import SchemeError
+
+
+class TestAttackScheme:
+    def test_compile_layout(self):
+        scheme = AttackScheme(attack_delay=3, attack_period=4,
+                              number_of_attacks=2, strike_cycles=1)
+        bits = scheme.compile()
+        np.testing.assert_array_equal(bits, [0, 0, 0, 1, 0, 0, 0, 1])
+
+    def test_wide_pulses(self):
+        scheme = AttackScheme(attack_delay=1, attack_period=5,
+                              number_of_attacks=2, strike_cycles=2)
+        bits = scheme.compile()
+        np.testing.assert_array_equal(bits, [0, 1, 1, 0, 0, 0, 1, 1])
+
+    def test_strike_start_cycles(self):
+        scheme = AttackScheme(attack_delay=10, attack_period=7,
+                              number_of_attacks=3)
+        np.testing.assert_array_equal(scheme.strike_start_cycles(),
+                                      [10, 17, 24])
+
+    def test_zero_attacks(self):
+        scheme = AttackScheme(attack_delay=5, attack_period=1,
+                              number_of_attacks=0)
+        assert scheme.compile().sum() == 0
+        assert scheme.total_cycles == 5
+
+    def test_period_shorter_than_pulse_rejected(self):
+        with pytest.raises(SchemeError):
+            AttackScheme(attack_delay=0, attack_period=1,
+                         number_of_attacks=2, strike_cycles=2)
+
+    def test_duration(self):
+        scheme = AttackScheme(attack_delay=0, attack_period=10,
+                              number_of_attacks=10)
+        assert scheme.duration_s(100e6) == pytest.approx(91 / 100e6)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        delay=st.integers(min_value=0, max_value=64),
+        period=st.integers(min_value=4, max_value=32),
+        count=st.integers(min_value=1, max_value=20),
+        width=st.integers(min_value=1, max_value=3),
+    )
+    def test_compile_parse_round_trip(self, delay, period, count, width):
+        # period > width: back-to-back pulses would merge (see below).
+        scheme = AttackScheme(delay, period, count, width)
+        parsed = AttackScheme.parse(scheme.compile())
+        assert parsed.strike_start_cycles().tolist() \
+            == scheme.strike_start_cycles().tolist()
+        assert parsed.strike_cycles == width
+        assert parsed.number_of_attacks == count
+
+    def test_back_to_back_pulses_merge_on_parse(self):
+        """period == width produces a continuous assertion: the bit vector
+        is identical to one long pulse, so parse reports it as such."""
+        scheme = AttackScheme(attack_delay=0, attack_period=3,
+                              number_of_attacks=2, strike_cycles=3)
+        parsed = AttackScheme.parse(scheme.compile())
+        assert parsed.number_of_attacks == 1
+        assert parsed.strike_cycles == 6
+
+    def test_parse_irregular_rejected(self):
+        with pytest.raises(SchemeError):
+            AttackScheme.parse(np.array([1, 0, 1, 0, 0, 1], dtype=np.uint8))
+
+    def test_parse_non_binary_rejected(self):
+        with pytest.raises(SchemeError):
+            AttackScheme.parse(np.array([0, 2, 0]))
+
+    def test_spread_over_fits_window(self):
+        scheme = AttackScheme.spread_over(delay=100, window_cycles=1000,
+                                          n_strikes=10)
+        starts = scheme.strike_start_cycles()
+        assert starts[0] == 100
+        assert starts[-1] < 1100
+
+    def test_spread_over_too_many_rejected(self):
+        with pytest.raises(SchemeError):
+            AttackScheme.spread_over(0, 10, 11)
+
+
+class TestSignalRAM:
+    def test_capacity(self):
+        ram = SignalRAM(bram_blocks=2)
+        assert ram.capacity_bits == 2 * 36_864
+
+    def test_oversize_scheme_rejected(self):
+        ram = SignalRAM(bram_blocks=1)
+        with pytest.raises(SchemeError):
+            ram.load(np.ones(40_000, dtype=np.uint8))
+
+    def test_replay_gated_by_arm(self):
+        ram = SignalRAM()
+        ram.load(np.array([1, 0, 1], dtype=np.uint8))
+        assert ram.read() == 0  # not armed: pointer frozen
+        ram.arm()
+        assert [ram.read() for _ in range(4)] == [1, 0, 1, 0]
+        assert ram.exhausted
+
+    def test_arm_empty_rejected(self):
+        with pytest.raises(SchemeError):
+            SignalRAM().arm()
+
+    def test_rewind_allows_reuse(self):
+        ram = SignalRAM()
+        ram.load_scheme(AttackScheme(1, 2, 2))
+        ram.arm()
+        first = [ram.read() for _ in range(4)]
+        ram.rewind()
+        ram.arm()
+        assert [ram.read() for _ in range(4)] == first
+
+    def test_peek(self):
+        ram = SignalRAM()
+        ram.load(np.array([0, 1], dtype=np.uint8))
+        assert ram.peek(1) == 1
+        with pytest.raises(SchemeError):
+            ram.peek(2)
+
+    def test_load_rewinds(self):
+        ram = SignalRAM()
+        ram.load(np.array([1], dtype=np.uint8))
+        ram.arm()
+        ram.read()
+        ram.load(np.array([1, 1], dtype=np.uint8))
+        assert not ram.armed
+        ram.arm()
+        assert ram.read() == 1

@@ -1,0 +1,93 @@
+"""Synthetic MNIST substrate tests."""
+
+import numpy as np
+import pytest
+
+from repro.data import DIGIT_STROKES, SyntheticMNIST, digit_strokes, render_digit
+from repro.errors import ConfigError
+
+
+class TestGlyphs:
+    def test_all_ten_digits_defined(self):
+        assert sorted(DIGIT_STROKES) == list(range(10))
+
+    def test_strokes_inside_unit_square(self):
+        for digit in range(10):
+            for stroke in digit_strokes(digit):
+                assert stroke.min() >= -0.05
+                assert stroke.max() <= 1.05
+
+    def test_strokes_are_copies(self):
+        a = digit_strokes(3)
+        a[0][:] = 0.0
+        b = digit_strokes(3)
+        assert not np.allclose(a[0], b[0])
+
+    def test_unknown_digit_rejected(self):
+        with pytest.raises(ConfigError):
+            digit_strokes(10)
+
+
+class TestRendering:
+    def test_canonical_render_deterministic(self):
+        a = render_digit(7, augment=False)
+        b = render_digit(7, augment=False)
+        np.testing.assert_array_equal(a, b)
+
+    def test_image_range_and_shape(self):
+        img = render_digit(0, rng=np.random.default_rng(1))
+        assert img.shape == (28, 28)
+        assert img.min() >= 0.0 and img.max() <= 1.0
+
+    def test_ink_present(self):
+        for digit in range(10):
+            img = render_digit(digit, augment=False)
+            assert img.max() > 0.8, f"digit {digit} rendered blank"
+            assert 0.03 < img.mean() < 0.5
+
+    def test_augmentation_varies(self):
+        rng = np.random.default_rng(2)
+        a = render_digit(5, rng=rng)
+        b = render_digit(5, rng=rng)
+        assert not np.allclose(a, b)
+
+    def test_digits_distinguishable(self):
+        """Canonical renders of distinct digits must differ substantially."""
+        renders = [render_digit(d, augment=False) for d in range(10)]
+        for i in range(10):
+            for j in range(i + 1, 10):
+                diff = np.abs(renders[i] - renders[j]).mean()
+                assert diff > 0.01, f"digits {i} and {j} look identical"
+
+    def test_tiny_canvas_rejected(self):
+        with pytest.raises(ConfigError):
+            render_digit(1, size=4)
+
+
+class TestDataset:
+    def test_generation_shapes(self):
+        ds = SyntheticMNIST.generate(n_train=100, n_test=40, seed=0)
+        assert ds.train_images.shape == (100, 1, 28, 28)
+        assert ds.test_labels.shape == (40,)
+        assert ds.n_train == 100 and ds.n_test == 40
+
+    def test_reproducible_by_seed(self):
+        a = SyntheticMNIST.generate(n_train=50, n_test=20, seed=3)
+        b = SyntheticMNIST.generate(n_train=50, n_test=20, seed=3)
+        np.testing.assert_array_equal(a.train_images, b.train_images)
+        np.testing.assert_array_equal(a.test_labels, b.test_labels)
+
+    def test_different_seeds_differ(self):
+        a = SyntheticMNIST.generate(n_train=50, n_test=20, seed=3)
+        b = SyntheticMNIST.generate(n_train=50, n_test=20, seed=4)
+        assert not np.allclose(a.train_images, b.train_images)
+
+    def test_classes_balanced(self):
+        ds = SyntheticMNIST.generate(n_train=200, n_test=50, seed=1)
+        counts = ds.class_counts("train")
+        assert counts.sum() == 200
+        assert counts.min() == 20 and counts.max() == 20
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ConfigError):
+            SyntheticMNIST.generate(n_train=5, n_test=50)

@@ -1,0 +1,118 @@
+"""Defence-side tests: droop monitor and bitstream scanner."""
+
+import numpy as np
+import pytest
+
+from repro.defense import BitstreamScanner, DroopMonitor
+from repro.errors import ConfigError
+from repro.fpga.netlist import Netlist
+from repro.sensors import build_tdc_netlist
+from repro.striker import build_ro_cell_netlist, build_striker_cell_netlist
+from repro.config import default_config
+
+
+class TestDroopMonitor:
+    def _clean(self, rng, n=2000, floor=84):
+        """A plausible clean trace: stall level with activity droops."""
+        trace = np.full(n, 92.0)
+        trace[500:1500] = floor + 2  # layer activity
+        return trace + rng.normal(0, 0.7, size=n)
+
+    def test_untrained_monitor_rejects_watch(self):
+        with pytest.raises(ConfigError):
+            DroopMonitor().watch(np.full(10, 92))
+
+    def test_clean_traffic_no_alarm(self):
+        rng = np.random.default_rng(0)
+        monitor = DroopMonitor().fit([self._clean(rng) for _ in range(4)])
+        verdict = monitor.watch(self._clean(rng))
+        assert not verdict.alarmed
+
+    def test_strike_train_detected_by_floor(self):
+        rng = np.random.default_rng(1)
+        monitor = DroopMonitor().fit([self._clean(rng) for _ in range(4)])
+        attacked = self._clean(rng)
+        attacked[800:1200:10] = 60  # strike dips far below the envelope
+        verdict = monitor.watch(attacked)
+        assert verdict.alarmed
+        assert verdict.floor_alarms > 10
+        assert 790 <= verdict.first_alarm_tick <= 810
+
+    def test_gentle_drift_detected_by_cusum(self):
+        rng = np.random.default_rng(2)
+        monitor = DroopMonitor(floor_margin=10.0).fit(
+            [self._clean(rng) for _ in range(4)]
+        )
+        attacked = self._clean(rng)
+        # Persistent shallow dips below the clean floor, but inside the
+        # (here deliberately wide) floor margin.
+        attacked[1000:] = monitor.clean_floor - 3.0
+        verdict = monitor.watch(attacked)
+        assert verdict.alarmed
+        assert verdict.cusum_alarms > 0 and verdict.floor_alarms == 0
+
+    def test_latency_accounting(self):
+        rng = np.random.default_rng(3)
+        monitor = DroopMonitor().fit([self._clean(rng)])
+        attacked = self._clean(rng)
+        attacked[1000] = 50
+        verdict = monitor.watch(attacked)
+        latency = monitor.detection_latency_s(verdict, dt=5e-9,
+                                              attack_start_tick=1000)
+        assert latency == pytest.approx(0.0)
+        # An alarm before the attack start counts as a false positive.
+        assert monitor.detection_latency_s(verdict, 5e-9, 1500) is None
+
+    def test_bad_thresholds_rejected(self):
+        with pytest.raises(ConfigError):
+            DroopMonitor(floor_margin=0.0)
+
+
+class TestBitstreamScanner:
+    def test_striker_bank_blocked(self):
+        nl = Netlist("bank")
+        for k in range(64):
+            build_striker_cell_netlist(k, netlist=nl)
+        report = BitstreamScanner().scan(nl)
+        assert not report.admit
+        checks = {f.check for f in report.findings if f.severity == "block"}
+        assert BitstreamScanner.CHECK_LATCH_LOOP in checks
+        assert BitstreamScanner.CHECK_GATE_FANOUT in checks
+        assert report.potential_oscillators >= 64
+
+    def test_single_cell_still_blocked_by_loops(self):
+        nl = build_striker_cell_netlist()
+        report = BitstreamScanner(max_oscillator_groups=0).scan(nl)
+        assert not report.admit
+
+    def test_ro_cell_flagged(self):
+        report = BitstreamScanner().scan(build_ro_cell_netlist())
+        assert not report.admit
+
+    def test_tdc_admitted(self):
+        report = BitstreamScanner().scan(
+            build_tdc_netlist(default_config().tdc)
+        )
+        assert report.admit
+        assert report.potential_oscillators == 0
+
+    def test_empty_netlist_admitted(self):
+        assert BitstreamScanner().scan(Netlist("empty")).admit
+
+    def test_summary_text(self):
+        nl = Netlist("bank8")
+        for k in range(8):
+            build_striker_cell_netlist(k, netlist=nl)
+        text = BitstreamScanner().scan(nl).summary()
+        assert "REJECT" in text
+        # A lone inferred latch loop only warrants review, not rejection.
+        single = BitstreamScanner(max_gate_fanout=64).scan(
+            build_striker_cell_netlist()
+        )
+        assert "ADMIT" in single.summary()
+
+    def test_threshold_validation(self):
+        with pytest.raises(ConfigError):
+            BitstreamScanner(max_gate_fanout=0)
+        with pytest.raises(ConfigError):
+            BitstreamScanner(max_latch_fraction=0.0)

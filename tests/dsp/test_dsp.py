@@ -1,0 +1,169 @@
+"""DSP48 model tests: timing, fault model, pipeline behaviour."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import DSPConfig, default_config
+from repro.dsp import DSP48Slice, DSPTiming, FaultType, TimingFaultModel
+from repro.errors import ConfigError
+from repro.sensors import GateDelayModel
+
+
+@pytest.fixture(scope="module")
+def fault_model():
+    cfg = default_config()
+    return TimingFaultModel(cfg.dsp, GateDelayModel(cfg.delay),
+                            np.random.default_rng(42))
+
+
+class TestTiming:
+    def test_meets_timing_at_nominal(self, config, delay_model):
+        timing = DSPTiming(config.dsp, delay_model)
+        assert timing.meets_timing(1.0)
+        assert timing.slack(1.0) > 0
+
+    def test_violation_grows_with_droop(self, config, delay_model):
+        timing = DSPTiming(config.dsp, delay_model)
+        violations = timing.violation(np.array([0.95, 0.92, 0.88]))
+        assert np.all(np.diff(violations) > 0)
+
+    def test_onset_voltage_consistent(self, config, delay_model):
+        timing = DSPTiming(config.dsp, delay_model)
+        onset = timing.onset_voltage()
+        assert timing.violation(onset + 0.005) == 0.0
+        assert timing.violation(onset - 0.005) > 0.0
+
+    def test_failing_nominal_config_rejected(self):
+        with pytest.raises(ConfigError):
+            DSPConfig(critical_path_nominal=6e-9).validate()
+
+
+class TestFaultModel:
+    def test_no_faults_above_onset(self, fault_model):
+        onset = fault_model.onset_voltage_any()
+        assert fault_model.fault_probability(onset + 0.01) == 0.0
+        outcomes = fault_model.decide_array(np.full(2000, onset + 0.01))
+        assert np.all(outcomes == FaultType.NONE)
+
+    def test_certain_faults_below_floor(self, fault_model):
+        floor = fault_model.certain_fault_voltage()
+        assert fault_model.fault_probability(floor - 0.01) == pytest.approx(1.0)
+        outcomes = fault_model.decide_array(np.full(500, floor - 0.01))
+        assert np.all(outcomes != FaultType.NONE)
+
+    def test_probability_monotone_decreasing_in_voltage(self, fault_model):
+        volts = np.linspace(0.88, 0.97, 30)
+        p = fault_model.fault_probability(volts)
+        assert np.all(np.diff(p) <= 1e-12)
+
+    def test_sampled_rate_matches_analytic(self, fault_model):
+        v = 0.93
+        p = fault_model.fault_probability(v)
+        outcomes = fault_model.decide_array(np.full(30_000, v))
+        rate = np.count_nonzero(outcomes != FaultType.NONE) / 30_000
+        assert rate == pytest.approx(p, abs=0.02)
+
+    def test_duplication_dominates_shallow_violations(self, fault_model):
+        shallow = fault_model.onset_voltage_any() - 0.005
+        deep = fault_model.certain_fault_voltage() - 0.02
+        assert fault_model.duplication_fraction(shallow) > 0.8
+        assert fault_model.duplication_fraction(deep) < 0.4
+
+    def test_class_probabilities_sum_to_one(self, fault_model):
+        for v in (0.99, 0.95, 0.92, 0.88):
+            p_none, p_dup, p_rand = fault_model.class_probabilities(v)
+            assert p_none + p_dup + p_rand == pytest.approx(1.0)
+            assert min(p_none, p_dup, p_rand) >= 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(v=st.floats(min_value=0.80, max_value=1.05))
+    def test_scalar_decide_never_crashes(self, v):
+        cfg = default_config()
+        fm = TimingFaultModel(cfg.dsp, GateDelayModel(cfg.delay),
+                              np.random.default_rng(7))
+        assert fm.decide(v) in (FaultType.NONE, FaultType.DUPLICATION,
+                                FaultType.RANDOM)
+
+
+class TestDSP48Slice:
+    def _slice(self, seed=0):
+        cfg = default_config()
+        fm = TimingFaultModel(cfg.dsp, GateDelayModel(cfg.delay),
+                              np.random.default_rng(seed))
+        return DSP48Slice(cfg.dsp, fm)
+
+    def test_functional_result_after_depth(self):
+        dsp = self._slice()
+        results = [dsp.clock(2, 3, 4, voltage=1.0) for _ in range(dsp.depth + 1)]
+        assert results[dsp.depth].value == (2 + 4) * 3
+
+    def test_pipeline_ordering(self):
+        dsp = self._slice()
+        inputs = [(k, 2, 1) for k in range(10)]
+        outs = [dsp.clock(a, b, d, voltage=1.0) for a, b, d in inputs]
+        for _ in range(dsp.depth):
+            outs.append(dsp.clock(0, 0, 0, voltage=1.0))
+        retired = [o.value for o in outs[dsp.depth:dsp.depth + 10]]
+        assert retired == [(k + 1) * 2 for k in range(10)]
+
+    def test_no_faults_at_nominal_voltage(self):
+        dsp = self._slice()
+        rng = np.random.default_rng(5)
+        for _ in range(300):
+            a, b, d = (int(x) for x in rng.integers(-128, 128, size=3))
+            out = dsp.clock(a, b, d, voltage=1.0)
+            assert out.fault is FaultType.NONE
+            assert out.value == out.expected
+
+    def test_deep_droop_faults_every_transitioning_op(self):
+        dsp = self._slice(seed=1)
+        floor = dsp.fault_model.certain_fault_voltage() - 0.02
+        faults = 0
+        for k in range(2, 40):
+            out = dsp.clock(k, k + 1, k, voltage=floor)
+            faults += out.fault is not FaultType.NONE
+        assert faults >= 30  # issued ops all transition
+
+    def test_repeated_product_cannot_fault(self):
+        dsp = self._slice(seed=2)
+        floor = dsp.fault_model.certain_fault_voltage() - 0.02
+        dsp.clock(3, 5, 1, voltage=1.0)
+        out = dsp.clock(3, 5, 1, voltage=floor)  # same product: no toggle
+        assert out.fault is FaultType.NONE
+
+    def test_duplication_returns_previous_product(self):
+        cfg = default_config()
+        fm = TimingFaultModel(cfg.dsp, GateDelayModel(cfg.delay),
+                              np.random.default_rng(3))
+        dsp = DSP48Slice(cfg.dsp, fm)
+        shallow = fm.onset_voltage_any() - 0.004
+        seen_dup = False
+        prev_expected = 0
+        outs = []
+        inputs = []
+        for k in range(4000):
+            a, b, d = k % 50 + 1, (k * 7) % 40 + 1, k % 9
+            inputs.append(DSP48Slice.compute(a, b, d))
+            outs.append(dsp.clock(a, b, d, voltage=shallow))
+        for idx, out in enumerate(outs[dsp.depth:], start=0):
+            if out.fault is FaultType.DUPLICATION and idx > 0:
+                assert out.value == inputs[idx - 1]
+                seen_dup = True
+        assert seen_dup
+
+    def test_reset_flushes_pipeline(self):
+        dsp = self._slice()
+        dsp.clock(9, 9, 9, voltage=1.0)
+        dsp.reset()
+        outs = [dsp.clock(0, 0, 0, voltage=1.0) for _ in range(dsp.depth)]
+        assert all(o.value == 0 for o in outs)
+
+    def test_bad_voltage_rejected(self):
+        dsp = self._slice()
+        with pytest.raises(Exception):
+            dsp.clock(1, 1, 1, voltage=float("nan"))
+
+    def test_wraparound_at_p_width(self):
+        big = DSP48Slice.compute(2 ** 20, 2 ** 20, 0)
+        assert -(2 ** 47) <= big < 2 ** 47

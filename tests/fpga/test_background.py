@@ -1,0 +1,62 @@
+"""Background-tenant activity model tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.fpga import BackgroundActivity, BackgroundTenant, CloudFPGA
+
+
+class TestBackgroundActivity:
+    def test_trace_bounds(self):
+        act = BackgroundActivity()
+        trace = act.trace(5000, np.random.default_rng(0))
+        assert trace.shape == (5000,)
+        assert trace.min() >= 0
+        assert trace.max() <= act.burst_current * (1 + act.jitter) + 1e-12
+
+    def test_bursts_occur(self):
+        act = BackgroundActivity()
+        trace = act.trace(20_000, np.random.default_rng(1))
+        threshold = (act.base_current + act.burst_current) / 2
+        burst_fraction = (trace > threshold).mean()
+        assert 0.01 < burst_fraction < 0.9
+
+    def test_mean_current_estimate(self):
+        act = BackgroundActivity()
+        trace = act.trace(200_000, np.random.default_rng(2))
+        assert trace.mean() == pytest.approx(act.mean_current(), rel=0.25)
+
+    def test_deterministic_by_rng(self):
+        act = BackgroundActivity()
+        a = act.trace(1000, np.random.default_rng(3))
+        b = act.trace(1000, np.random.default_rng(3))
+        np.testing.assert_array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            BackgroundActivity(burst_start_prob=0.0)
+        with pytest.raises(ConfigError):
+            BackgroundActivity(jitter=1.0)
+        with pytest.raises(ConfigError):
+            BackgroundActivity(base_current=-1.0)
+
+    def test_zero_length_trace(self):
+        act = BackgroundActivity()
+        assert act.trace(0, np.random.default_rng(0)).shape == (0,)
+
+
+class TestBackgroundTenant:
+    def test_admitted_and_draws(self):
+        board = CloudFPGA.pynq_z1(seed=4)
+        tenant = BackgroundTenant(rng=np.random.default_rng(5))
+        board.admit(tenant)
+        volts = board.cosimulate(2000)
+        assert volts.min() < volts.max()  # activity modulates the rail
+
+    def test_reset_clears_burst_state(self):
+        tenant = BackgroundTenant(rng=np.random.default_rng(6))
+        for tick in range(5000):
+            tenant.current_draw(tick)
+        tenant.reset()
+        assert not tenant._bursting

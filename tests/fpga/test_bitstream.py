@@ -1,0 +1,111 @@
+"""Bitstream packaging and PR loader tests."""
+
+import pytest
+
+from repro.errors import ConfigError, PlacementError, ResourceError
+from repro.fpga import Floorplan, Region, ZYNQ_7020
+from repro.fpga.bitstream import (
+    FRAME_BYTES,
+    Bitstream,
+    BitstreamLoader,
+    ConfigurationFrame,
+)
+from repro.fpga.netlist import Netlist
+from repro.striker import build_striker_cell_netlist
+
+
+@pytest.fixture()
+def striker_netlist():
+    nl = Netlist("striker_pr")
+    for k in range(8):
+        build_striker_cell_netlist(k, netlist=nl)
+    return nl
+
+
+@pytest.fixture()
+def region():
+    return Region("attacker_pr", 10, 10, 40, 40)
+
+
+class TestBitstream:
+    def test_synthesis_metadata(self, striker_netlist, region):
+        stream = Bitstream.synthesize(striker_netlist, region, ZYNQ_7020)
+        assert stream.device_name == "xc7z020"
+        assert stream.lut_count == striker_netlist.lut_count()
+        assert stream.latch_count == 16
+        assert stream.verify()
+
+    def test_frame_count_scales_with_region(self, striker_netlist):
+        small = Bitstream.synthesize(striker_netlist,
+                                     Region("s", 0, 0, 10, 10), ZYNQ_7020)
+        large = Bitstream.synthesize(striker_netlist,
+                                     Region("l", 0, 0, 40, 40), ZYNQ_7020)
+        assert len(large.frames) > len(small.frames)
+
+    def test_deterministic(self, striker_netlist, region):
+        a = Bitstream.synthesize(striker_netlist, region, ZYNQ_7020)
+        b = Bitstream.synthesize(striker_netlist, region, ZYNQ_7020)
+        assert a.crc32 == b.crc32
+        assert a.frames[0].payload == b.frames[0].payload
+
+    def test_different_designs_differ(self, striker_netlist, region):
+        other = Netlist("other")
+        build_striker_cell_netlist(0, netlist=other)
+        a = Bitstream.synthesize(striker_netlist, region, ZYNQ_7020)
+        b = Bitstream.synthesize(other, region, ZYNQ_7020)
+        assert a.frames[0].payload != b.frames[0].payload
+
+    def test_tampering_breaks_crc(self, striker_netlist, region):
+        stream = Bitstream.synthesize(striker_netlist, region, ZYNQ_7020)
+        assert not stream.tampered_copy().verify()
+
+    def test_frame_payload_size_enforced(self):
+        with pytest.raises(ConfigError):
+            ConfigurationFrame(0, b"\x00" * (FRAME_BYTES - 1))
+
+
+class TestBitstreamLoader:
+    def _loader(self):
+        return BitstreamLoader(ZYNQ_7020, Floorplan(100, 100))
+
+    def test_good_stream_programs(self, striker_netlist, region):
+        loader = self._loader()
+        stream = Bitstream.synthesize(striker_netlist, region, ZYNQ_7020)
+        loader.program(stream, expected_region=region)
+        assert loader.programmed_designs == ["striker_pr"]
+
+    def test_wrong_device_rejected(self, striker_netlist, region):
+        loader = self._loader()
+        stream = Bitstream.synthesize(striker_netlist, region, ZYNQ_7020)
+        stream.device_name = "xc7z045"
+        with pytest.raises(ResourceError):
+            loader.validate(stream)
+
+    def test_out_of_fabric_region_rejected(self, striker_netlist):
+        loader = self._loader()
+        bad = Region("huge", 0, 0, 150, 150)
+        stream = Bitstream.synthesize(striker_netlist, bad, ZYNQ_7020)
+        with pytest.raises(PlacementError):
+            loader.validate(stream)
+
+    def test_region_mismatch_rejected(self, striker_netlist, region):
+        loader = self._loader()
+        stream = Bitstream.synthesize(striker_netlist, region, ZYNQ_7020)
+        other = Region("elsewhere", 50, 50, 80, 80)
+        with pytest.raises(PlacementError):
+            loader.validate(stream, expected_region=other)
+
+    def test_tampered_stream_rejected(self, striker_netlist, region):
+        loader = self._loader()
+        stream = Bitstream.synthesize(striker_netlist, region, ZYNQ_7020)
+        with pytest.raises(ConfigError):
+            loader.validate(stream.tampered_copy())
+
+    def test_rogue_frame_address_rejected(self, striker_netlist, region):
+        loader = self._loader()
+        stream = Bitstream.synthesize(striker_netlist, region, ZYNQ_7020)
+        rogue = ConfigurationFrame(0, stream.frames[0].payload)
+        stream.frames[0] = rogue
+        stream.crc32 = stream.compute_crc()  # attacker fixes the CRC...
+        with pytest.raises(PlacementError):
+            loader.validate(stream)  # ...but the address check still fires

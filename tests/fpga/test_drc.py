@@ -1,0 +1,94 @@
+"""Design rule checker tests — the paper's central structural claim."""
+
+import pytest
+
+from repro.errors import DRCViolation
+from repro.fpga import DesignRuleChecker, LDCE, LUT1, Netlist
+from repro.fpga.drc import Severity
+from repro.sensors import build_ro_sensor_netlist, build_tdc_netlist
+from repro.striker import build_ro_cell_netlist, build_striker_cell_netlist
+from repro.config import default_config
+
+
+@pytest.fixture()
+def drc():
+    return DesignRuleChecker()
+
+
+class TestCombLoopRule:
+    def test_ro_cell_fails(self, drc):
+        report = drc.check(build_ro_cell_netlist())
+        assert not report.passed
+        result = report.result_for(DesignRuleChecker.RULE_COMB_LOOP)
+        assert result is not None and not result.passed
+
+    def test_striker_cell_passes(self, drc):
+        report = drc.check(build_striker_cell_netlist())
+        assert report.passed
+
+    def test_striker_cell_flagged_by_strict_scan(self):
+        strict = DesignRuleChecker(strict_latch_scan=True)
+        report = strict.check(build_striker_cell_netlist())
+        assert not report.passed
+        result = report.result_for(DesignRuleChecker.RULE_LATCH_LOOP)
+        assert result.severity is Severity.ERROR
+
+    def test_tdc_netlist_passes(self, drc):
+        report = drc.check(build_tdc_netlist(default_config().tdc))
+        assert report.passed
+
+    def test_ro_sensor_fails(self, drc):
+        assert not drc.check(build_ro_sensor_netlist()).passed
+
+    def test_raise_on_error(self, drc):
+        report = drc.check(build_ro_cell_netlist())
+        with pytest.raises(DRCViolation) as err:
+            report.raise_on_error()
+        assert err.value.rule == DesignRuleChecker.RULE_COMB_LOOP
+
+
+class TestWarningsAndInfo:
+    def test_latch_usage_reported_as_info(self, drc):
+        report = drc.check(build_striker_cell_netlist())
+        result = report.result_for(DesignRuleChecker.RULE_LATCH_INFER)
+        assert result.severity is Severity.INFO
+        assert "latch" in result.message
+
+    def test_undriven_net_warns_but_passes(self, drc):
+        nl = Netlist("floating")
+        a = nl.add_cell(LUT1("a"))
+        net = nl.add_net("dangling")
+        nl.sink(net, a, "I0")
+        report = drc.check(nl)
+        assert report.passed  # warnings do not fail the design
+        assert report.warnings()
+
+    def test_floating_latch_gate_warns(self, drc):
+        nl = Netlist("badlatch")
+        inv = nl.add_cell(LUT1("inv", init=0b01))
+        latch = nl.add_cell(LDCE("latch"))
+        nl.connect(inv, "O", latch, "D")
+        report = drc.check(nl)
+        result = report.result_for(DesignRuleChecker.RULE_FLOATING_GATE)
+        assert not result.passed
+
+    def test_summary_mentions_status(self, drc):
+        report = drc.check(build_ro_cell_netlist())
+        assert "FAIL" in report.summary()
+        ok = drc.check(build_striker_cell_netlist())
+        assert "PASS" in ok.summary()
+
+
+class TestScaling:
+    def test_large_striker_bank_checks_quickly(self, drc):
+        nl = Netlist("bank")
+        for k in range(512):
+            build_striker_cell_netlist(k, netlist=nl)
+        assert drc.check(nl).passed
+
+    def test_one_ro_hidden_in_large_bank_is_found(self, drc):
+        nl = Netlist("bank_with_ro")
+        for k in range(128):
+            build_striker_cell_netlist(k, netlist=nl)
+        build_ro_cell_netlist(999, netlist=nl)
+        assert not drc.check(nl).passed

@@ -1,0 +1,108 @@
+"""Floorplan placement and clock management tile tests."""
+
+import pytest
+
+from repro.errors import ConfigError, PlacementError
+from repro.fpga import ClockManagementTile, Floorplan, Region
+
+
+class TestRegion:
+    def test_geometry(self):
+        r = Region("a", 0, 0, 10, 20)
+        assert r.width == 10 and r.height == 20 and r.area == 200
+        assert r.center == (5.0, 10.0)
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(PlacementError):
+            Region("bad", 5, 5, 5, 10)
+
+    def test_overlap_detection(self):
+        a = Region("a", 0, 0, 10, 10)
+        assert a.overlaps(Region("b", 5, 5, 15, 15))
+        assert not a.overlaps(Region("c", 10, 0, 20, 10))  # edge-adjacent
+
+    def test_distance(self):
+        a = Region("a", 0, 0, 2, 2)
+        b = Region("b", 3, 0, 5, 2)
+        assert a.distance_to(b) == pytest.approx(3.0)
+
+
+class TestFloorplan:
+    def test_overlapping_placement_rejected(self):
+        fp = Floorplan(50, 50)
+        fp.place(Region("a", 0, 0, 20, 20))
+        with pytest.raises(PlacementError):
+            fp.place(Region("b", 10, 10, 30, 30))
+
+    def test_out_of_fabric_rejected(self):
+        fp = Floorplan(50, 50)
+        with pytest.raises(PlacementError):
+            fp.place(Region("a", 40, 40, 60, 60))
+
+    def test_place_apart_maximizes_distance(self):
+        fp = Floorplan(100, 100)
+        fp.place(Region("victim", 0, 0, 20, 20))
+        attacker = fp.place_apart("attacker", 20, 20, far_from="victim")
+        # The attacker should land in the opposite corner's half.
+        assert attacker.center[0] > 50 or attacker.center[1] > 50
+        assert fp.separation("victim", "attacker") > 50
+
+    def test_no_room_raises(self):
+        fp = Floorplan(20, 20)
+        fp.place(Region("big", 0, 0, 20, 20))
+        with pytest.raises(PlacementError):
+            fp.place_apart("late", 5, 5)
+
+    def test_duplicate_name_rejected(self):
+        fp = Floorplan()
+        fp.place(Region("a", 0, 0, 5, 5))
+        with pytest.raises(PlacementError):
+            fp.place(Region("a", 10, 10, 15, 15))
+
+
+class TestClockManagementTile:
+    def test_default_vco_in_range(self):
+        cmt = ClockManagementTile()
+        assert ClockManagementTile.VCO_MIN_HZ <= cmt.vco_hz \
+            <= ClockManagementTile.VCO_MAX_HZ
+
+    def test_vco_out_of_range_rejected(self):
+        with pytest.raises(ConfigError):
+            ClockManagementTile(reference_hz=125e6, multiplier=20)
+
+    def test_derive_paper_clocks(self):
+        cmt = ClockManagementTile()
+        launch = cmt.derive("tdc_launch", 200e6)
+        sample = cmt.derive("tdc_sample", 200e6, phase_s=4.6e-9)
+        assert launch.period == pytest.approx(5e-9)
+        assert sample.phase_s == pytest.approx(4.6e-9,
+                                               abs=cmt.phase_resolution_s)
+
+    def test_non_integer_divider_rejected(self):
+        cmt = ClockManagementTile()
+        with pytest.raises(ConfigError):
+            cmt.derive("odd", 333e6)
+
+    def test_phase_quantization(self):
+        cmt = ClockManagementTile()
+        step = cmt.phase_resolution_s
+        quantized = cmt.quantize_phase(2.3 * step)
+        assert quantized == pytest.approx(2 * step)
+
+    def test_rephase(self):
+        cmt = ClockManagementTile()
+        cmt.derive("clk", 100e6)
+        updated = cmt.rephase("clk", 3e-9)
+        assert updated.phase_s > 0
+        assert cmt.output("clk").phase_s == updated.phase_s
+
+    def test_duplicate_output_rejected(self):
+        cmt = ClockManagementTile()
+        cmt.derive("clk", 100e6)
+        with pytest.raises(ConfigError):
+            cmt.derive("clk", 100e6)
+
+    def test_edges_in_duration(self):
+        cmt = ClockManagementTile()
+        clk = cmt.derive("clk", 100e6)
+        assert clk.edges_in(95e-9) == 10  # edges at 0,10,...,90 ns

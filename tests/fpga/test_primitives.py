@@ -1,0 +1,131 @@
+"""Unit tests for the behavioral FPGA primitives."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.fpga import BUFG, CARRY4, FDRE, LDCE, LUT1, LUT6_2
+from repro.fpga.primitives import PortDirection
+
+
+class TestLUT1:
+    def test_inverter_truth_table(self):
+        inv = LUT1("inv", init=0b01)
+        assert inv.evaluate(False) is True
+        assert inv.evaluate(True) is False
+
+    def test_buffer_truth_table(self):
+        buf = LUT1("buf", init=0b10)
+        assert buf.evaluate(False) is False
+        assert buf.evaluate(True) is True
+
+    def test_init_out_of_range_rejected(self):
+        with pytest.raises(ConfigError):
+            LUT1("bad", init=0b100)
+
+    def test_all_paths_combinational(self):
+        lut = LUT1("l")
+        assert lut.is_combinational_path("I0", "O")
+
+
+class TestLUT6_2:
+    def test_dual_inverter_configuration(self):
+        lut = LUT6_2("striker_lut")
+        assert lut.is_dual_inverter()
+        o6, o5 = lut.evaluate(I0=False, I5=True)
+        assert o6 is True and o5 is True
+        o6, o5 = lut.evaluate(I0=True, I5=True)
+        assert o6 is False and o5 is False
+
+    def test_non_inverter_init_detected(self):
+        lut = LUT6_2("other", init=0)
+        assert not lut.is_dual_inverter()
+
+    def test_o5_ignores_i5(self):
+        lut = LUT6_2("l")
+        _, o5_low = lut.evaluate(I0=False, I5=False)
+        _, o5_high = lut.evaluate(I0=False, I5=True)
+        assert o5_low == o5_high
+
+    def test_o6_is_combinational_from_every_input(self):
+        lut = LUT6_2("l")
+        for k in range(6):
+            assert lut.is_combinational_path(f"I{k}", "O6")
+
+    def test_o5_not_fed_by_i5(self):
+        lut = LUT6_2("l")
+        assert not lut.is_combinational_path("I5", "O5")
+
+    def test_init_out_of_range_rejected(self):
+        with pytest.raises(ConfigError):
+            LUT6_2("bad", init=1 << 64)
+
+
+class TestLDCE:
+    def test_transparent_when_gated(self):
+        latch = LDCE("l")
+        assert latch.evaluate(d=True, g=True) is True
+        assert latch.evaluate(d=False, g=True) is False
+
+    def test_holds_when_gate_low(self):
+        latch = LDCE("l")
+        latch.evaluate(d=True, g=True)
+        assert latch.evaluate(d=False, g=False) is True
+
+    def test_clear_dominates(self):
+        latch = LDCE("l")
+        latch.evaluate(d=True, g=True)
+        assert latch.evaluate(d=True, g=True, clr=True) is False
+
+    def test_gate_enable_blocks_update(self):
+        latch = LDCE("l")
+        latch.evaluate(d=True, g=True)
+        assert latch.evaluate(d=False, g=True, ge=False) is True
+
+    def test_classified_as_storage_with_no_comb_paths(self):
+        assert LDCE.IS_STORAGE
+        assert not LDCE.COMB_PATHS
+        assert ("D", "Q") in LDCE.TRANSPARENT_PATHS
+
+    def test_costs_one_latch(self):
+        assert LDCE.LATCH_COST == 1 and LDCE.FF_COST == 0
+
+
+class TestFDRE:
+    def test_captures_on_edge(self):
+        ff = FDRE("f")
+        assert ff.clock_edge(d=True) is True
+        assert ff.clock_edge(d=False) is False
+
+    def test_clock_enable(self):
+        ff = FDRE("f")
+        ff.clock_edge(d=True)
+        assert ff.clock_edge(d=False, ce=False) is True
+
+    def test_synchronous_reset_dominates(self):
+        ff = FDRE("f")
+        ff.clock_edge(d=True)
+        assert ff.clock_edge(d=True, r=True) is False
+
+
+class TestPortHandling:
+    def test_unknown_port_rejected(self):
+        with pytest.raises(ConfigError):
+            LUT1("l").port_direction("O6")
+
+    def test_directions(self):
+        lut = LUT6_2("l")
+        assert lut.port_direction("I3") is PortDirection.INPUT
+        assert lut.port_direction("O5") is PortDirection.OUTPUT
+
+    def test_inputs_outputs_lists(self):
+        carry = CARRY4("c")
+        assert "CI" in carry.inputs()
+        assert "CO3" in carry.outputs()
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigError):
+            BUFG("")
+
+    def test_uids_unique(self):
+        a, b = LUT1("a"), LUT1("a")
+        assert a.uid != b.uid

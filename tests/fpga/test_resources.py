@@ -1,0 +1,79 @@
+"""Resource inventory and utilization accounting tests."""
+
+import pytest
+
+from repro.errors import ResourceError
+from repro.fpga import ResourceBudget, Utilization, ZYNQ_7020
+from repro.fpga.resources import DeviceResources
+
+
+class TestInventory:
+    def test_zynq_7020_datasheet_values(self):
+        assert ZYNQ_7020.luts == 53_200
+        assert ZYNQ_7020.slices == 13_300
+        assert ZYNQ_7020.dsp_slices == 220
+        ZYNQ_7020.validate()
+
+    def test_invalid_device_rejected(self):
+        bad = DeviceResources("x", luts=0, flip_flops=1, slices=1,
+                              dsp_slices=1, bram_36k=1)
+        with pytest.raises(ResourceError):
+            bad.validate()
+
+
+class TestBudget:
+    def test_slices_lut_limited(self):
+        budget = ResourceBudget(luts=400)
+        assert budget.slices_needed(ZYNQ_7020) == 100
+
+    def test_slices_register_limited(self):
+        budget = ResourceBudget(luts=4, latches=800)
+        assert budget.slices_needed(ZYNQ_7020) == 100
+
+    def test_addition(self):
+        total = ResourceBudget(luts=1, dsp_slices=2) + ResourceBudget(
+            luts=3, bram_36k=1
+        )
+        assert total.luts == 4 and total.dsp_slices == 2 and total.bram_36k == 1
+
+
+class TestUtilization:
+    def test_paper_striker_slice_fraction(self):
+        """An 8,000-cell bank costs ~15% of slices (paper: 15.03%)."""
+        util = Utilization(ZYNQ_7020)
+        util.claim("striker", ResourceBudget(luts=8001, latches=16000))
+        fraction = util.slice_fraction("striker")
+        assert 0.145 <= fraction <= 0.156
+
+    def test_overflow_rejected(self):
+        util = Utilization(ZYNQ_7020)
+        with pytest.raises(ResourceError):
+            util.claim("hog", ResourceBudget(dsp_slices=221))
+
+    def test_cumulative_overflow_rejected(self):
+        util = Utilization(ZYNQ_7020)
+        util.claim("a", ResourceBudget(dsp_slices=150))
+        with pytest.raises(ResourceError):
+            util.claim("b", ResourceBudget(dsp_slices=100))
+
+    def test_duplicate_tenant_rejected(self):
+        util = Utilization(ZYNQ_7020)
+        util.claim("a", ResourceBudget(luts=1))
+        with pytest.raises(ResourceError):
+            util.claim("a", ResourceBudget(luts=1))
+
+    def test_release_frees_capacity(self):
+        util = Utilization(ZYNQ_7020)
+        util.claim("a", ResourceBudget(dsp_slices=220))
+        util.release("a")
+        util.claim("b", ResourceBudget(dsp_slices=220))
+
+    def test_unknown_tenant_lookup(self):
+        util = Utilization(ZYNQ_7020)
+        with pytest.raises(ResourceError):
+            util.tenant_budget("ghost")
+
+    def test_report_lists_tenants(self):
+        util = Utilization(ZYNQ_7020)
+        util.claim("victim", ResourceBudget(luts=100, dsp_slices=32))
+        assert "victim" in util.report()

@@ -1,0 +1,90 @@
+"""Thermal model tests (the 'don't hold Start high' constraint)."""
+
+import numpy as np
+import pytest
+
+from repro.dsp import FaultCharacterization
+from repro.errors import ConfigError, SimulationError
+from repro.fpga.thermal import ThermalConfig, ThermalModel
+
+
+class TestThermalModel:
+    def test_idles_at_idle_temperature(self):
+        model = ThermalModel()
+        expected = model.steady_state(model.config.idle_power_w)
+        assert model.temperature_c == pytest.approx(expected)
+
+    def test_step_approaches_steady_state(self):
+        model = ThermalModel()
+        target = model.steady_state(0.8)
+        for _ in range(200):
+            model.step(0.8, dt=1e-4)
+        assert model.temperature_c == pytest.approx(target, abs=0.5)
+
+    def test_simulate_matches_steps(self):
+        a, b = ThermalModel(), ThermalModel()
+        powers = np.linspace(0.2, 0.9, 50)
+        for p in powers:
+            a.step(float(p), dt=1e-4)
+        b.simulate(powers, dt=1e-4)
+        assert a.temperature_c == pytest.approx(b.temperature_c, rel=1e-9)
+
+    def test_crash_on_over_temperature(self):
+        model = ThermalModel()
+        power = model.max_sustained_power_w() * 1.5
+        with pytest.raises(SimulationError):
+            for _ in range(10_000):
+                model.step(power, dt=1e-4)
+
+    def test_crash_can_be_disabled_for_studies(self):
+        model = ThermalModel(crash_on_limit=False)
+        power = model.max_sustained_power_w() * 1.5
+        for _ in range(10_000):
+            model.step(power, dt=1e-4)
+        assert model.temperature_c > model.config.crash_c
+
+    def test_delay_factor_grows_with_temperature(self):
+        model = ThermalModel(crash_on_limit=False)
+        cold = model.delay_factor()
+        for _ in range(5000):
+            model.step(0.9, dt=1e-4)
+        assert model.delay_factor() > cold
+
+    def test_headroom(self):
+        model = ThermalModel()
+        assert model.headroom_c() > 0
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            ThermalConfig(crash_c=20.0).validate()
+        with pytest.raises(ConfigError):
+            ThermalConfig(tau_s=0.0).validate()
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(SimulationError):
+            ThermalModel().step(-1.0, dt=1e-4)
+
+
+class TestSustainedStrikeStudy:
+    @pytest.fixture(scope="class")
+    def harness(self):
+        return FaultCharacterization(seed=0)
+
+    def test_pulsed_attack_stays_cold(self, harness):
+        result = harness.sustained_strike_study(24_000, duty=0.01)
+        assert not result["crashed"]
+        assert result["peak_temp_c"] < 60
+
+    def test_sustained_large_bank_crashes(self, harness):
+        """The paper's warning: holding Start with a big bank kills it."""
+        result = harness.sustained_strike_study(48_000, duty=1.0)
+        assert result["crashed"]
+
+    def test_sustained_paper_bank_hot_but_alive(self, harness):
+        result = harness.sustained_strike_study(24_000, duty=1.0)
+        assert not result["crashed"]
+        assert result["peak_temp_c"] > 75
+
+    def test_duty_validation(self, harness):
+        with pytest.raises(SimulationError):
+            harness.sustained_strike_study(1000, duty=0.0)

@@ -1,0 +1,63 @@
+"""Attack portability to a second architecture (paper future work)."""
+
+import numpy as np
+import pytest
+
+from repro.accel import AcceleratorEngine
+from repro.core import DeepStrike
+from repro.zoo import get_pretrained
+
+
+@pytest.fixture(scope="module")
+def cnn7():
+    return get_pretrained(model_name="cnn7")
+
+
+@pytest.fixture(scope="module")
+def cnn7_engine(cnn7):
+    return AcceleratorEngine(cnn7.quantized,
+                             rng=np.random.default_rng(111))
+
+
+class TestCNN7Deployment:
+    def test_trains_to_operating_regime(self, cnn7):
+        assert cnn7.quantized_accuracy >= 0.93
+        assert cnn7.name == "cnn7"
+
+    def test_maps_onto_the_accelerator(self, cnn7_engine):
+        kinds = [p.kind for p in cnn7_engine.plans]
+        assert kinds == ["conv", "pool", "conv", "pool", "conv",
+                         "dense", "dense"]
+
+    def test_schedule_covers_all_layers(self, cnn7_engine):
+        names = cnn7_engine.schedule.layer_names()
+        assert "c7_conv2" in names and "c7_fc1" in names
+
+    def test_clean_engine_matches_quantized_model(self, cnn7, cnn7_engine):
+        images = cnn7.dataset.test_images[:16]
+        np.testing.assert_allclose(cnn7_engine.infer_clean(images),
+                                   cnn7.quantized.forward(images))
+
+
+class TestCNN7Attack:
+    def test_deepstrike_ports_to_cnn7(self, cnn7, cnn7_engine):
+        """The same attack stack, untouched, damages the new victim."""
+        attack = DeepStrike(cnn7_engine, rng=np.random.default_rng(112))
+        images = cnn7.dataset.test_images[:96]
+        labels = cnn7.dataset.test_labels[:96]
+        # The longest conv is the analogue of LeNet's CONV2 target.
+        convs = [p for p in cnn7_engine.plans if p.kind == "conv"]
+        target = max(convs, key=lambda p: p.cycles)
+        plan = attack.plan_for_layer(target.name,
+                                     min(4500, target.cycles - 10))
+        outcome = attack.execute(images, labels, plan)
+        assert outcome.accuracy_drop > 0.02
+
+    def test_pooling_still_immune(self, cnn7, cnn7_engine):
+        attack = DeepStrike(cnn7_engine, rng=np.random.default_rng(113))
+        images = cnn7.dataset.test_images[:96]
+        labels = cnn7.dataset.test_labels[:96]
+        pool = cnn7_engine.schedule.window("c7_pool1").plan
+        plan = attack.plan_for_layer("c7_pool1", pool.cycles // 2)
+        outcome = attack.execute(images, labels, plan)
+        assert outcome.accuracy_drop <= 0.03

@@ -1,0 +1,145 @@
+"""End-to-end integration tests: the full attack loop on the live board."""
+
+import numpy as np
+import pytest
+
+from repro.core import AttackScheme, DeepStrike, RemoteAttacker, UARTLink
+from repro.errors import SchedulerError
+from repro.nn.model import PROBE_INPUT_SHAPE
+from repro.testbed import build_attack_testbed
+
+
+@pytest.fixture(scope="module")
+def probe_testbed(probe_quantized_module):
+    return build_attack_testbed(probe_quantized_module,
+                                input_shape=PROBE_INPUT_SHAPE,
+                                bank_cells=5000, seed=2024)
+
+
+@pytest.fixture(scope="module")
+def probe_quantized_module():
+    from repro.nn import build_probe_model, quantize_model
+
+    return quantize_model(build_probe_model())
+
+
+class TestTestbedAssembly:
+    def test_three_tenants_admitted(self, probe_testbed):
+        names = {t.name for t in probe_testbed.board.tenants()}
+        assert names == {"victim_dnn", "attack_scheduler", "striker"}
+
+    def test_striker_placed_away_from_victim(self, probe_testbed):
+        sep = probe_testbed.board.hypervisor.floorplan.separation(
+            "victim_dnn", "striker"
+        )
+        assert sep > 40
+
+    def test_tdc_calibrated_near_paper_point(self, probe_testbed):
+        assert abs(probe_testbed.nominal_readout - 90) <= 4
+
+    def test_striker_drc_report_clean(self, probe_testbed):
+        assert probe_testbed.board.hypervisor.drc_report("striker").passed
+
+
+class TestClosedLoop:
+    def test_detector_fires_at_first_layer(self, probe_testbed):
+        tb = probe_testbed
+        tb.board.reset()
+        tb.scheduler.load_scheme(AttackScheme(10, 5, 3))
+        tb.run(4000)
+        first_layer_tick = tb.engine.schedule.windows()[0].start_cycle * 2
+        assert tb.scheduler.trigger_tick is not None
+        assert 0 <= tb.scheduler.trigger_tick - first_layer_tick <= 24
+
+    def test_strikes_dip_the_rail(self, probe_testbed):
+        tb = probe_testbed
+        tb.board.reset()
+        conv = tb.engine.schedule.window("conv3x3")
+        trigger = tb.engine.schedule.windows()[0].start_cycle + 2
+        scheme = AttackScheme(
+            attack_delay=conv.start_cycle - trigger,
+            attack_period=20,
+            number_of_attacks=40,
+        )
+        tb.scheduler.load_scheme(scheme)
+        volts = tb.run(9000)
+        assert volts.min() < 0.955  # striker-driven dips
+
+    def test_unarmed_scheduler_never_strikes(self, probe_testbed):
+        tb = probe_testbed
+        tb.board.reset()
+        tb.scheduler.load_scheme(AttackScheme(10, 5, 0))  # zero attacks
+        volts = tb.run(2000)
+        assert not tb.bank.started
+        assert volts.min() > 0.955
+
+    def test_detector_without_scheme_raises(self, probe_quantized_module):
+        tb = build_attack_testbed(probe_quantized_module,
+                                  input_shape=PROBE_INPUT_SHAPE, seed=7)
+        with pytest.raises(SchedulerError):
+            tb.run(4000)  # trigger fires with an empty signal RAM
+
+    def test_remote_reconfiguration_round_trip(self, probe_testbed):
+        tb = probe_testbed
+        tb.board.reset()
+        remote = RemoteAttacker(UARTLink(), tb.scheduler)
+        assert remote.upload_scheme(AttackScheme(50, 9, 5))
+        tb.run(1200)
+        trace = remote.download_trace(max_samples=256)
+        assert trace.shape == (256,)
+        assert trace.max() <= 128
+
+
+class TestBlackBoxAttackPath:
+    """Profile -> plan from profile -> execute: no schedule oracle."""
+
+    def test_profile_guided_plan_hits_target_layer(self, victim, config):
+        from repro.accel import AcceleratorEngine
+        from repro.sensors import GateDelayModel, TDCSensor
+        from repro.sensors.calibration import theta_for_target
+
+        engine = AcceleratorEngine(victim.quantized, config=config,
+                                   rng=np.random.default_rng(31))
+        attack = DeepStrike(engine, rng=np.random.default_rng(32))
+        delay_model = GateDelayModel(config.delay)
+        idle_v = 0.9867  # settled idle rail
+        theta = theta_for_target(config.tdc, delay_model, voltage=idle_v)
+        sensor = TDCSensor(config.tdc, delay_model, theta,
+                           rng=np.random.default_rng(33))
+        library = attack.profile_victim(sensor, nominal_readout=92,
+                                        n_traces=2)
+        assert len(library) == 5  # conv1, pool1, conv2, fc1, fc2
+        kinds = [s.kind_guess for s in library]
+        assert kinds[0] == "conv" and kinds[2] == "conv"
+        assert kinds[3] == "fc"
+
+        # Target the deep-droop layer the profile says is the 2nd conv.
+        plan = attack.plan_from_profile(library, target_order=2,
+                                        n_strikes=800)
+        landed_layers = {s.layer_name for s in plan.struck}
+        assert "conv2" in landed_layers
+        conv2_hits = sum(
+            s.count for s in plan.struck if s.layer_name == "conv2"
+        )
+        assert conv2_hits > 0.9 * 800
+
+    def test_profile_guided_attack_damages_accuracy(self, victim, config):
+        from repro.accel import AcceleratorEngine
+        from repro.sensors import GateDelayModel, TDCSensor
+        from repro.sensors.calibration import theta_for_target
+
+        engine = AcceleratorEngine(victim.quantized, config=config,
+                                   rng=np.random.default_rng(41))
+        attack = DeepStrike(engine, rng=np.random.default_rng(42))
+        delay_model = GateDelayModel(config.delay)
+        theta = theta_for_target(config.tdc, delay_model, voltage=0.9867)
+        sensor = TDCSensor(config.tdc, delay_model, theta,
+                           rng=np.random.default_rng(43))
+        library = attack.profile_victim(sensor, nominal_readout=92,
+                                        n_traces=2)
+        plan = attack.plan_from_profile(library, target_order=2,
+                                        n_strikes=4500)
+        images = victim.dataset.test_images[:96]
+        labels = victim.dataset.test_labels[:96]
+        outcome = attack.execute(images, labels, plan)
+        assert outcome.accuracy_drop > 0.03

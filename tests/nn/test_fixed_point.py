@@ -1,0 +1,79 @@
+"""Fixed-point format tests (with hypothesis round-trip properties)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import QuantizationError
+from repro.nn import ACC_Q, FixedPointFormat, Q3_4
+
+
+class TestFormats:
+    def test_q3_4_shape(self):
+        assert Q3_4.total_bits == 8 and Q3_4.frac_bits == 4 and Q3_4.signed
+        assert Q3_4.describe() == "sQ3.4"
+        assert Q3_4.scale == 0.0625
+        assert Q3_4.min_value == -8.0
+        assert Q3_4.max_value == pytest.approx(7.9375)
+
+    def test_unsigned_format(self):
+        u = FixedPointFormat(8, 4, signed=False)
+        assert u.int_min == 0 and u.int_max == 255
+        assert u.describe() == "uQ4.4"
+
+    def test_invalid_widths_rejected(self):
+        with pytest.raises(QuantizationError):
+            FixedPointFormat(1, 0)
+        with pytest.raises(QuantizationError):
+            FixedPointFormat(8, 8)
+
+    def test_accumulator_wider_than_operands(self):
+        assert ACC_Q.total_bits > 2 * Q3_4.total_bits
+
+
+class TestQuantize:
+    def test_exact_values_round_trip(self):
+        values = np.array([0.0, 0.0625, -0.5, 7.9375, -8.0])
+        np.testing.assert_allclose(Q3_4.round_trip(values), values)
+
+    def test_saturation(self):
+        assert Q3_4.quantize(100.0) == Q3_4.int_max
+        assert Q3_4.quantize(-100.0) == Q3_4.int_min
+
+    def test_round_to_nearest(self):
+        assert Q3_4.quantize(0.031) == 0
+        assert Q3_4.quantize(0.034) == 1
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(QuantizationError):
+            Q3_4.quantize(np.array([np.nan]))
+
+    def test_wrap_semantics(self):
+        # 128 wraps to -128 in 8-bit two's complement.
+        assert Q3_4.wrap(np.array([128]))[0] == -128
+        assert Q3_4.wrap(np.array([-129]))[0] == 127
+        assert Q3_4.wrap(np.array([5]))[0] == 5
+
+    def test_representable(self):
+        assert Q3_4.representable(0.5)
+        assert not Q3_4.representable(0.03)
+        assert not Q3_4.representable(9.0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(value=st.floats(min_value=-7.9, max_value=7.9))
+    def test_round_trip_error_bounded_by_half_lsb(self, value):
+        assert Q3_4.quantization_error(value) <= Q3_4.scale / 2 + 1e-12
+
+    @settings(max_examples=60, deadline=None)
+    @given(code=st.integers(min_value=-128, max_value=127))
+    def test_codes_round_trip_exactly(self, code):
+        assert Q3_4.quantize(Q3_4.dequantize(code)) == code
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        a=st.floats(min_value=-3.9, max_value=3.9),
+        b=st.floats(min_value=-3.9, max_value=3.9),
+    )
+    def test_quantize_monotone(self, a, b):
+        if a <= b:
+            assert Q3_4.quantize(a) <= Q3_4.quantize(b)

@@ -1,0 +1,195 @@
+"""Layer forward/backward tests, including numeric gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.nn import Conv2D, Dense, Flatten, MaxPool2D, ReLU, Tanh
+from repro.nn.ops import col2im, conv_output_size, im2col
+
+
+def numeric_gradient(f, x, eps=1e-6):
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    out = grad.reshape(-1)
+    for k in range(flat.size):
+        orig = flat[k]
+        flat[k] = orig + eps
+        hi = f()
+        flat[k] = orig - eps
+        lo = f()
+        flat[k] = orig
+        out[k] = (hi - lo) / (2 * eps)
+    return grad
+
+
+class TestOps:
+    def test_conv_output_size(self):
+        assert conv_output_size(28, 5, 1, 2) == 28
+        assert conv_output_size(14, 5, 1, 0) == 10
+        with pytest.raises(ValueError):
+            conv_output_size(3, 5, 1, 0)
+
+    def test_im2col_matches_naive_conv(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(2, 3, 6, 6))
+        w = rng.normal(size=(4, 3, 3, 3))
+        cols, oh, ow = im2col(x, 3, 1, 1)
+        out = (cols @ w.reshape(4, -1).T).reshape(2, oh, ow, 4).transpose(
+            0, 3, 1, 2
+        )
+        # Naive reference.
+        xp = np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)))
+        ref = np.zeros_like(out)
+        for n in range(2):
+            for o in range(4):
+                for y in range(oh):
+                    for xx in range(ow):
+                        patch = xp[n, :, y:y + 3, xx:xx + 3]
+                        ref[n, o, y, xx] = (patch * w[o]).sum()
+        np.testing.assert_allclose(out, ref, atol=1e-10)
+
+    def test_col2im_is_adjoint_of_im2col(self):
+        """<im2col(x), y> == <x, col2im(y)> for all x, y (adjoint test)."""
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(1, 2, 5, 5))
+        cols, oh, ow = im2col(x, 3, 1, 1)
+        y = rng.normal(size=cols.shape)
+        lhs = (cols * y).sum()
+        rhs = (x * col2im(y, x.shape, 3, 1, 1)).sum()
+        assert lhs == pytest.approx(rhs)
+
+
+class TestConv2D:
+    def test_shapes(self):
+        conv = Conv2D(1, 6, kernel=5, pad=2)
+        assert conv.output_shape((1, 28, 28)) == (6, 28, 28)
+        x = np.zeros((3, 1, 28, 28))
+        assert conv.forward(x).shape == (3, 6, 28, 28)
+
+    def test_wrong_channel_count_rejected(self):
+        with pytest.raises(ConfigError):
+            Conv2D(3, 4, 3).output_shape((1, 8, 8))
+
+    def test_mac_count_matches_paper_layers(self):
+        conv1 = Conv2D(1, 6, kernel=5, pad=2)
+        conv2 = Conv2D(6, 16, kernel=5)
+        assert conv1.mac_count((1, 28, 28)) == 117_600
+        assert conv2.mac_count((6, 14, 14)) == 240_000
+
+    def test_gradient_wrt_input(self):
+        rng = np.random.default_rng(2)
+        conv = Conv2D(2, 3, kernel=3, pad=1, rng=rng)
+        x = rng.normal(size=(2, 2, 5, 5))
+
+        def loss():
+            return float((conv.forward(x) ** 2).sum() / 2)
+
+        loss()
+        analytic = conv.backward(conv.forward(x))
+        numeric = numeric_gradient(loss, x)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-4)
+
+    def test_gradient_wrt_weights(self):
+        rng = np.random.default_rng(3)
+        conv = Conv2D(2, 2, kernel=3, rng=rng)
+        x = rng.normal(size=(1, 2, 5, 5))
+
+        def loss():
+            return float((conv.forward(x) ** 2).sum() / 2)
+
+        conv.zero_grad = lambda: None  # keep Parameter API simple here
+        conv.weight.zero_grad()
+        loss()
+        conv.backward(conv.forward(x))
+        numeric = numeric_gradient(loss, conv.weight.value)
+        np.testing.assert_allclose(conv.weight.grad, numeric, atol=1e-4)
+
+    def test_backward_before_forward_rejected(self):
+        conv = Conv2D(1, 1, 3)
+        with pytest.raises(ConfigError):
+            conv.backward(np.zeros((1, 1, 1, 1)))
+
+
+class TestMaxPool2D:
+    def test_forward_values(self):
+        pool = MaxPool2D(2)
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = pool.forward(x)
+        np.testing.assert_array_equal(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_gradient_routes_to_argmax(self):
+        pool = MaxPool2D(2)
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        pool.forward(x)
+        grad = pool.backward(np.ones((1, 1, 2, 2)))
+        assert grad.sum() == 4
+        assert grad[0, 0, 1, 1] == 1  # position of 5
+
+    def test_tie_breaks_to_first(self):
+        pool = MaxPool2D(2)
+        x = np.ones((1, 1, 2, 2))
+        pool.forward(x)
+        grad = pool.backward(np.ones((1, 1, 1, 1)))
+        assert grad[0, 0, 0, 0] == 1 and grad.sum() == 1
+
+    def test_indivisible_input_rejected(self):
+        with pytest.raises(ConfigError):
+            MaxPool2D(2).forward(np.zeros((1, 1, 5, 5)))
+
+    def test_op_count(self):
+        assert MaxPool2D(2).op_count((6, 28, 28)) == 6 * 14 * 14
+
+
+class TestDenseAndFriends:
+    def test_dense_forward(self):
+        dense = Dense(3, 2)
+        dense.weight.value = np.array([[1.0, 0, 0], [0, 2.0, 0]])
+        dense.bias.value = np.array([1.0, -1.0])
+        out = dense.forward(np.array([[1.0, 2.0, 3.0]]))
+        np.testing.assert_allclose(out, [[2.0, 3.0]])
+
+    def test_dense_gradients(self):
+        rng = np.random.default_rng(4)
+        dense = Dense(4, 3, rng=rng)
+        x = rng.normal(size=(2, 4))
+
+        def loss():
+            return float((dense.forward(x) ** 2).sum() / 2)
+
+        dense.weight.zero_grad()
+        loss()
+        analytic_x = dense.backward(dense.forward(x))
+        np.testing.assert_allclose(
+            analytic_x, numeric_gradient(loss, x), atol=1e-5
+        )
+        np.testing.assert_allclose(
+            dense.weight.grad, numeric_gradient(loss, dense.weight.value),
+            atol=1e-4,
+        )
+
+    def test_dense_shape_check(self):
+        with pytest.raises(ConfigError):
+            Dense(4, 2).forward(np.zeros((1, 5)))
+
+    def test_tanh_gradient(self):
+        tanh = Tanh()
+        x = np.linspace(-2, 2, 7).reshape(1, -1)
+        out = tanh.forward(x)
+        grad = tanh.backward(np.ones_like(x))
+        np.testing.assert_allclose(grad, 1 - out ** 2)
+
+    def test_relu(self):
+        relu = ReLU()
+        x = np.array([[-1.0, 0.0, 2.0]])
+        np.testing.assert_array_equal(relu.forward(x), [[0, 0, 2]])
+        np.testing.assert_array_equal(
+            relu.backward(np.ones_like(x)), [[0, 0, 1]]
+        )
+
+    def test_flatten_round_trip(self):
+        flat = Flatten()
+        x = np.arange(24.0).reshape(2, 3, 2, 2)
+        out = flat.forward(x)
+        assert out.shape == (2, 12)
+        assert flat.backward(out).shape == x.shape

@@ -1,0 +1,167 @@
+"""Model container, loss, optimizer and training-loop tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.nn import (
+    Dense,
+    SGD,
+    Sequential,
+    SoftmaxCrossEntropy,
+    Tanh,
+    Trainer,
+    build_lenet5,
+    build_probe_model,
+    evaluate_accuracy,
+)
+from repro.nn.loss import softmax
+from repro.nn.model import LENET5_INPUT_SHAPE
+
+
+class TestSequential:
+    def test_lenet5_summary_shapes(self):
+        model = build_lenet5()
+        summary = model.summary(LENET5_INPUT_SHAPE)
+        assert "(6, 28, 28)" in summary
+        assert "(16, 10, 10)" in summary
+        assert "(10,)" in summary
+
+    def test_lenet5_parameter_count(self):
+        model = build_lenet5()
+        # conv1 156 + conv2 2416 + fc1 192120 + fc2 1210
+        assert model.parameter_count() == 195_902
+
+    def test_state_dict_round_trip(self):
+        a = build_lenet5(np.random.default_rng(1))
+        b = build_lenet5(np.random.default_rng(2))
+        x = np.random.default_rng(3).normal(size=(2, 1, 28, 28))
+        assert not np.allclose(a.forward(x), b.forward(x))
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_allclose(a.forward(x), b.forward(x))
+
+    def test_load_missing_key_rejected(self):
+        model = build_lenet5()
+        with pytest.raises(ConfigError):
+            model.layer("conv1").load_state_dict({})
+
+    def test_layer_lookup(self):
+        model = build_lenet5()
+        assert model.layer("fc1").name == "fc1"
+        with pytest.raises(ConfigError):
+            model.layer("conv99")
+
+    def test_probe_model_layers(self):
+        probe = build_probe_model()
+        names = [l.name for l in probe.layers]
+        assert names[:2] == ["maxpool", "conv3x3"]
+
+
+class TestLoss:
+    def test_softmax_rows_sum_to_one(self):
+        logits = np.random.default_rng(0).normal(size=(4, 10)) * 10
+        probs = softmax(logits)
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(4))
+
+    def test_perfect_prediction_low_loss(self):
+        loss_fn = SoftmaxCrossEntropy()
+        logits = np.array([[10.0, -10.0], [-10.0, 10.0]])
+        loss, _ = loss_fn.forward(logits, np.array([0, 1]))
+        assert loss < 1e-4
+
+    def test_gradient_matches_numeric(self):
+        rng = np.random.default_rng(1)
+        logits = rng.normal(size=(3, 5))
+        labels = np.array([0, 2, 4])
+        loss_fn = SoftmaxCrossEntropy()
+        _, grad = loss_fn.forward(logits, labels)
+        eps = 1e-6
+        numeric = np.zeros_like(logits)
+        for idx in np.ndindex(*logits.shape):
+            logits[idx] += eps
+            hi, _ = loss_fn.forward(logits, labels)
+            logits[idx] -= 2 * eps
+            lo, _ = loss_fn.forward(logits, labels)
+            logits[idx] += eps
+            numeric[idx] = (hi - lo) / (2 * eps)
+        np.testing.assert_allclose(grad, numeric, atol=1e-6)
+
+    def test_label_out_of_range_rejected(self):
+        with pytest.raises(ConfigError):
+            SoftmaxCrossEntropy().forward(np.zeros((1, 3)), np.array([3]))
+
+
+class TestSGD:
+    def test_plain_step(self):
+        dense = Dense(2, 1)
+        dense.weight.value = np.zeros((1, 2))
+        dense.weight.grad = np.array([[1.0, -1.0]])
+        opt = SGD([dense.weight, dense.bias], lr=0.1, momentum=0.0)
+        opt.step()
+        np.testing.assert_allclose(dense.weight.value, [[-0.1, 0.1]])
+
+    def test_momentum_accumulates(self):
+        dense = Dense(1, 1)
+        dense.weight.value = np.zeros((1, 1))
+        opt = SGD([dense.weight], lr=0.1, momentum=0.5)
+        dense.weight.grad = np.array([[1.0]])
+        opt.step()  # v = -0.1
+        opt.step()  # v = -0.15
+        np.testing.assert_allclose(dense.weight.value, [[-0.25]])
+
+    def test_weight_decay_pulls_to_zero(self):
+        dense = Dense(1, 1)
+        dense.weight.value = np.array([[1.0]])
+        dense.weight.grad = np.array([[0.0]])
+        opt = SGD([dense.weight], lr=0.1, momentum=0.0, weight_decay=0.1)
+        opt.step()
+        assert dense.weight.value[0, 0] < 1.0
+
+    def test_invalid_hyperparameters_rejected(self):
+        p = Dense(1, 1).weight
+        with pytest.raises(ConfigError):
+            SGD([p], lr=0.0)
+        with pytest.raises(ConfigError):
+            SGD([p], momentum=1.0)
+        with pytest.raises(ConfigError):
+            SGD([])
+
+
+class TestTrainer:
+    def _toy_problem(self):
+        """Linearly separable 2-class blobs through a tiny MLP."""
+        rng = np.random.default_rng(0)
+        x0 = rng.normal(loc=-1.0, size=(80, 4))
+        x1 = rng.normal(loc=+1.0, size=(80, 4))
+        x = np.concatenate([x0, x1])
+        y = np.concatenate([np.zeros(80, dtype=int), np.ones(80, dtype=int)])
+        model = Sequential(
+            [Dense(4, 8, rng=rng, name="h"), Tanh(), Dense(8, 2, rng=rng,
+                                                           name="out")]
+        )
+        return model, x, y
+
+    def test_training_improves_accuracy(self):
+        model, x, y = self._toy_problem()
+        before = evaluate_accuracy(model, x, y)
+        trainer = Trainer(model, lr=0.1, batch_size=16)
+        result = trainer.fit(x, y, x, y, epochs=20, target_accuracy=0.99)
+        assert result.test_accuracy > max(0.95, before)
+
+    def test_early_stop_at_target(self):
+        model, x, y = self._toy_problem()
+        trainer = Trainer(model, lr=0.1, batch_size=16)
+        result = trainer.fit(x, y, x, y, epochs=50, target_accuracy=0.8)
+        assert result.epochs_run < 50
+
+    def test_loss_history_recorded(self):
+        model, x, y = self._toy_problem()
+        trainer = Trainer(model, lr=0.05, batch_size=16)
+        result = trainer.fit(x, y, x, y, epochs=3)
+        assert len(result.loss_history) == 3
+        assert result.loss_history[-1] <= result.loss_history[0]
+
+    def test_mismatched_labels_rejected(self):
+        model, x, y = self._toy_problem()
+        with pytest.raises(ConfigError):
+            evaluate_accuracy(model, x, y[:-1])

@@ -1,0 +1,190 @@
+"""TDC sensor, calibration, and trace segmentation tests."""
+
+import numpy as np
+import pytest
+
+from repro.config import TDCConfig, default_config
+from repro.errors import CalibrationError, ConfigError, ProfilingError
+from repro.fpga import ClockManagementTile, DesignRuleChecker
+from repro.sensors import (
+    GateDelayModel,
+    ReadoutTrace,
+    RingOscillatorSensor,
+    TDCSensor,
+    build_tdc_netlist,
+    calibrate_theta,
+)
+from repro.sensors.calibration import theta_for_target
+
+
+@pytest.fixture(scope="module")
+def calibrated(delay_model_module):
+    cfg = default_config()
+    cmt = ClockManagementTile()
+    theta, readout = calibrate_theta(cfg.tdc, delay_model_module, cmt,
+                                     rng=np.random.default_rng(0))
+    sensor = TDCSensor(cfg.tdc, delay_model_module, theta, rng=None)
+    return sensor, readout
+
+
+@pytest.fixture(scope="module")
+def delay_model_module():
+    return GateDelayModel(default_config().delay)
+
+
+class TestTDCSensor:
+    def test_calibrated_nominal_readout(self, calibrated):
+        sensor, readout = calibrated
+        assert abs(readout - 92) <= 3
+        assert abs(sensor.readout(1.0) - 92) <= 3
+
+    def test_readout_decreases_with_droop(self, calibrated):
+        sensor, _ = calibrated
+        readouts = [sensor.readout(v) for v in (1.0, 0.98, 0.95, 0.90)]
+        assert readouts == sorted(readouts, reverse=True)
+        assert readouts[-1] < readouts[0] - 20
+
+    def test_sensitivity_near_half_count_per_mv(self, calibrated):
+        sensor, _ = calibrated
+        sens = sensor.sensitivity_counts_per_volt()
+        assert 300 <= sens <= 800
+
+    def test_capture_is_thermometer(self, calibrated):
+        sensor, _ = calibrated
+        vec = sensor.capture(1.0)
+        k = int(vec.sum())
+        assert np.all(vec[:k] == 1) and np.all(vec[k:] == 0)
+
+    def test_trace_sampling_matches_scalar(self, calibrated):
+        sensor, _ = calibrated
+        volts = np.linspace(0.9, 1.0, 20)
+        trace = sensor.sample_trace(volts)
+        scalar = np.array([sensor.readout(float(v)) for v in volts])
+        np.testing.assert_array_equal(trace, scalar)
+
+    def test_saturation_detection(self, calibrated):
+        sensor, _ = calibrated
+        assert sensor.is_saturated(0)
+        assert sensor.is_saturated(sensor.config.l_carry)
+        assert not sensor.is_saturated(92)
+
+    def test_uncalibrated_theta_rejected(self, delay_model_module):
+        with pytest.raises(ConfigError):
+            TDCSensor(default_config().tdc, delay_model_module, theta=0.0)
+
+    def test_jitter_adds_readout_noise(self, delay_model_module):
+        cfg = default_config()
+        theta = theta_for_target(cfg.tdc, delay_model_module)
+        noisy = TDCSensor(cfg.tdc, delay_model_module, theta,
+                          rng=np.random.default_rng(3))
+        values = {noisy.readout(0.99) for _ in range(64)}
+        assert len(values) > 1
+
+
+class TestCalibration:
+    def test_analytic_theta_hits_target(self, delay_model_module):
+        cfg = default_config()
+        theta = theta_for_target(cfg.tdc, delay_model_module, target=92)
+        sensor = TDCSensor(cfg.tdc, delay_model_module, theta, rng=None)
+        assert sensor.readout(1.0) == 92
+
+    def test_calibration_at_lower_idle_voltage(self, delay_model_module):
+        cfg = default_config()
+        cmt = ClockManagementTile()
+        theta, readout = calibrate_theta(cfg.tdc, delay_model_module, cmt,
+                                         idle_voltage=0.985,
+                                         rng=np.random.default_rng(1))
+        assert abs(readout - cfg.tdc.calibration_target) <= 3
+        sensor = TDCSensor(cfg.tdc, delay_model_module, theta, rng=None)
+        assert abs(sensor.readout(0.985) - 92) <= 3
+
+    def test_unreachable_target_raises(self, delay_model_module):
+        # A drive period far too short for the delay lines: every phase
+        # candidate saturates -> counting errors -> calibration fails.
+        cfg = TDCConfig(l_lut=64, lut_stage_delay_nominal=2e-9)
+        cmt = ClockManagementTile()
+        with pytest.raises(CalibrationError):
+            calibrate_theta(cfg, delay_model_module, cmt,
+                            rng=np.random.default_rng(2))
+
+    def test_bad_target_rejected(self, delay_model_module):
+        cfg = default_config().tdc
+        with pytest.raises(CalibrationError):
+            theta_for_target(cfg, delay_model_module, target=128)
+
+
+class TestRingOscillatorSensor:
+    def test_count_tracks_voltage(self, delay_model_module):
+        ro = RingOscillatorSensor(delay_model_module)
+        assert ro.readout(1.0) > ro.readout(0.9)
+
+    def test_even_stage_count_rejected(self, delay_model_module):
+        with pytest.raises(ConfigError):
+            RingOscillatorSensor(delay_model_module, stages=4)
+
+    def test_trace_shape(self, delay_model_module):
+        ro = RingOscillatorSensor(delay_model_module)
+        counts = ro.sample_trace(np.linspace(0.9, 1.0, 10))
+        assert counts.shape == (10,)
+        assert np.all(np.diff(counts) >= 0)
+
+
+class TestTDCNetlist:
+    def test_passes_drc(self):
+        report = DesignRuleChecker().check(build_tdc_netlist(default_config().tdc))
+        assert report.passed
+
+    def test_resource_shape(self):
+        cfg = default_config().tdc
+        nl = build_tdc_netlist(cfg)
+        assert nl.ff_count() == cfg.l_carry
+        assert nl.lut_count() == cfg.l_lut + 1  # + carry propagate const
+
+    def test_non_multiple_of_four_rejected(self):
+        with pytest.raises(ConfigError):
+            build_tdc_netlist(TDCConfig(l_carry=130))
+
+
+class TestReadoutTrace:
+    def _trace(self):
+        readouts = np.full(600, 92)
+        readouts[200:400] = 85  # one activity burst
+        return ReadoutTrace(readouts, dt=5e-9, nominal=92)
+
+    def test_segmentation_finds_burst(self):
+        segments = self._trace().segment()
+        kinds = [s.kind for s in segments]
+        assert kinds == ["stall", "activity", "stall"]
+        activity = segments[1]
+        assert 180 <= activity.start <= 220
+        assert 380 <= activity.end <= 420
+
+    def test_short_blips_filtered(self):
+        readouts = np.full(400, 92)
+        readouts[100:104] = 80  # 4-tick blip: below min_activity_ticks
+        trace = ReadoutTrace(readouts, dt=5e-9, nominal=92)
+        assert trace.activity_segments() == []
+
+    def test_micro_stalls_merged(self):
+        readouts = np.full(800, 92)
+        readouts[100:300] = 85
+        readouts[310:500] = 85  # 10-tick gap inside one layer
+        trace = ReadoutTrace(readouts, dt=5e-9, nominal=92)
+        activity = trace.activity_segments()
+        assert len(activity) == 1
+
+    def test_fluctuation_and_droop_metrics(self):
+        trace = self._trace()
+        assert trace.fluctuation() == 7
+        assert 0 < trace.droop_depth() < 7
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ProfilingError):
+            ReadoutTrace(np.array([]), dt=5e-9, nominal=92)
+
+    def test_segments_cover_trace(self):
+        segments = self._trace().segment()
+        assert segments[0].start == 0
+        assert segments[-1].end == 600
+        for a, b in zip(segments, segments[1:]):
+            assert a.end == b.start

@@ -1,0 +1,82 @@
+"""CLI tests (in-process, via main())."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_subcommand_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_attack_defaults(self):
+        args = build_parser().parse_args(["attack"])
+        assert args.layer == "conv2"
+        assert args.strikes == 4500
+        assert args.cells == 5000
+
+
+class TestCommands:
+    def test_summary(self, capsys):
+        assert main(["summary"]) == 0
+        out = capsys.readouterr().out
+        assert "conv2" in out and "fc1" in out
+        assert "lenet5" in out
+
+    def test_train_uses_cache(self, capsys):
+        assert main(["train"]) == 0
+        assert "Q3.4 acc" in capsys.readouterr().out
+
+    def test_profile(self, capsys):
+        assert main(["profile", "--traces", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "conv" in out and "#0" in out
+
+    def test_attack_guided(self, capsys):
+        assert main(["attack", "--layer", "conv2", "--strikes", "500",
+                     "--images", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "conv2" in out and "drop" in out
+
+    def test_attack_blind(self, capsys):
+        assert main(["attack", "--layer", "blind", "--strikes", "500",
+                     "--images", "32"]) == 0
+        assert "blind" in capsys.readouterr().out
+
+    def test_characterize(self, capsys):
+        assert main(["characterize", "--cells", "8000", "24000",
+                     "--trials", "1000"]) == 0
+        out = capsys.readouterr().out
+        assert "24000" in out and "total" in out
+
+    def test_scan(self, capsys):
+        assert main(["scan"]) == 0
+        out = capsys.readouterr().out
+        assert "striker bank" in out
+        assert "REJECT" in out  # the scanner rejects the bank
+        assert "vendor DRC: PASS" in out  # but vendor DRC admits it
+
+    def test_campaign_round_trip(self, tmp_path, capsys):
+        target = tmp_path / "c.json"
+        # A tiny campaign via the spec default would be slow; run with a
+        # small image subset instead.
+        assert main(["campaign", "-o", str(target), "--images", "24"]) == 0
+        out = capsys.readouterr().out
+        assert "most sensitive target" in out
+        assert target.exists()
+        assert main(["campaign", "--show", str(target)]) == 0
+        shown = capsys.readouterr().out
+        assert "clean accuracy" in shown
+
+    def test_report_to_file(self, tmp_path, capsys):
+        target = tmp_path / "report.md"
+        assert main(["report", "-o", str(target), "--images", "32"]) == 0
+        text = target.read_text()
+        assert "# DeepStrike reproduction report" in text
+        assert "| conv2 |" in text
+        assert "Fig 6b" in text

@@ -1,0 +1,62 @@
+"""Model zoo and testbed assembly tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.zoo import MODEL_BUILDERS, default_cache_dir, get_pretrained
+
+
+class TestZoo:
+    def test_builders_registered(self):
+        assert set(MODEL_BUILDERS) == {"lenet5", "cnn7"}
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ReproError):
+            get_pretrained(model_name="resnet152")
+
+    def test_cache_reuse_is_exact(self, victim):
+        again = get_pretrained()
+        np.testing.assert_array_equal(
+            victim.dataset.test_labels, again.dataset.test_labels
+        )
+        for key, value in victim.model.state_dict().items():
+            np.testing.assert_array_equal(value,
+                                          again.model.state_dict()[key])
+
+    def test_cache_dir_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert default_cache_dir() == tmp_path
+
+    def test_victim_carries_consistent_artifacts(self, victim):
+        assert victim.quantized.stages  # quantized model built
+        assert victim.dataset.n_test >= 1000
+        assert victim.name == "lenet5"
+        assert "victim" in victim.summary()
+
+
+class TestTestbedAccounting:
+    def test_total_utilization_within_device(self, victim):
+        from repro.testbed import build_attack_testbed
+
+        tb = build_attack_testbed(victim.quantized, seed=31)
+        total = tb.board.hypervisor.utilization.total()
+        device = tb.board.device
+        assert total.luts <= device.luts
+        assert total.dsp_slices <= device.dsp_slices
+        assert total.bram_36k <= device.bram_36k
+
+    def test_tenants_have_disjoint_regions(self, victim):
+        from repro.testbed import build_attack_testbed
+
+        tb = build_attack_testbed(victim.quantized, seed=32)
+        regions = tb.board.hypervisor.floorplan.regions()
+        for i, a in enumerate(regions):
+            for b in regions[i + 1:]:
+                assert not a.overlaps(b)
+
+    def test_theta_within_drive_period(self, victim):
+        from repro.testbed import build_attack_testbed
+
+        tb = build_attack_testbed(victim.quantized, seed=33)
+        assert 0 < tb.theta < 5e-9
