@@ -28,6 +28,7 @@ from .config import (
     DSPConfig,
     DelayModelConfig,
     PDNConfig,
+    ReliabilityConfig,
     SimulationConfig,
     StrikerConfig,
     TDCConfig,
@@ -35,8 +36,10 @@ from .config import (
 )
 from .errors import (
     CalibrationError,
+    ChaosError,
     ConfigError,
     DRCViolation,
+    LinkDeadError,
     PlacementError,
     ProfilingError,
     QuantizationError,
@@ -53,16 +56,19 @@ __version__ = "1.0.0"
 __all__ = [
     "AcceleratorConfig",
     "CalibrationError",
+    "ChaosError",
     "ClockConfig",
     "ConfigError",
     "DRCViolation",
     "DSPConfig",
     "DelayModelConfig",
+    "LinkDeadError",
     "PDNConfig",
     "PlacementError",
     "PretrainedVictim",
     "ProfilingError",
     "QuantizationError",
+    "ReliabilityConfig",
     "ReproError",
     "ResourceError",
     "SchedulerError",

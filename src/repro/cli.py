@@ -67,6 +67,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write markdown to this file (default stdout)")
     report.add_argument("--images", type=int, default=120)
 
+    from .chaos import CHAOS_PRESETS
+
     campaign = sub.add_parser("campaign",
                               help="run the full Fig 5(b) study and "
                                    "persist it as JSON")
@@ -75,6 +77,20 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--seed", type=int, default=1)
     campaign.add_argument("--show", default=None, metavar="JSON",
                           help="instead of running, print a saved campaign")
+    campaign.add_argument("--checkpoint", default=None, metavar="JSON",
+                          help="write an atomic checkpoint here after "
+                               "every campaign cell")
+    campaign.add_argument("--resume", default=None, metavar="JSON",
+                          help="resume from this checkpoint, skipping "
+                               "already-completed cells (also where new "
+                               "checkpoints go unless --checkpoint is set)")
+    campaign.add_argument("--chaos", default=None,
+                          choices=sorted(CHAOS_PRESETS),
+                          help="run under a chaos-injection preset")
+    campaign.add_argument("--sweep", action="append", default=None,
+                          metavar="LAYER=N1,N2,...",
+                          help="override the default study (repeatable; "
+                               "disables the blind baseline)")
     return parser
 
 
@@ -262,6 +278,27 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _parse_sweep_args(items: List[str], images: int, seed: int):
+    """Turn repeated ``--sweep LAYER=N1,N2`` flags into a CampaignSpec."""
+    from .core.campaign import CampaignSpec
+
+    sweeps = []
+    for item in items:
+        layer, _, counts = item.partition("=")
+        try:
+            parsed = tuple(int(c) for c in counts.split(",")) if counts \
+                else ()
+        except ValueError:
+            parsed = ()
+        if not layer or not parsed:
+            raise SystemExit(
+                f"bad --sweep '{item}' (expected LAYER=N1,N2,...)"
+            )
+        sweeps.append((layer, parsed))
+    return CampaignSpec(sweeps=tuple(sweeps), blind_counts=(),
+                        eval_images=images, seed=seed)
+
+
 def _cmd_campaign(args) -> int:
     from .core import load_campaign
     from .core.campaign import CampaignSpec, run_campaign, save_campaign
@@ -273,15 +310,36 @@ def _cmd_campaign(args) -> int:
         import dataclasses
 
         victim, _, attack, _ = _sensor_and_attack(args.seed, 5500)
-        spec = dataclasses.replace(CampaignSpec.fig5b_default(),
-                                   eval_images=args.images, seed=args.seed)
+        if args.sweep:
+            spec = _parse_sweep_args(args.sweep, args.images, args.seed)
+        elif args.resume:
+            spec = None  # take the spec from the checkpoint
+        else:
+            spec = dataclasses.replace(CampaignSpec.fig5b_default(),
+                                       eval_images=args.images,
+                                       seed=args.seed)
+        before_cell = None
+        if args.chaos:
+            from .chaos import ChaosInjector, chaos_preset
+
+            injector = ChaosInjector(chaos_preset(args.chaos,
+                                                  seed=args.seed))
+            before_cell = injector.campaign_cell_hook
         result = run_campaign(attack, victim.dataset.test_images,
-                              victim.dataset.test_labels, spec)
+                              victim.dataset.test_labels, spec,
+                              checkpoint_path=args.checkpoint or args.resume,
+                              resume_from=args.resume,
+                              before_cell=before_cell)
         save_campaign(result, args.output)
         print(f"campaign written to {args.output}")
     print(f"clean accuracy: {result.clean_accuracy:.4f}")
     print(sweep_to_rows(result.sweeps))
     print(f"most sensitive target: {result.most_sensitive_target()}")
+    if result.failures:
+        print(f"{len(result.failures)} cell(s) failed:")
+        for failure in result.failures:
+            print(f"  {failure.target_layer} x{failure.n_strikes}: "
+                  f"{failure.error_type}: {failure.message}")
     return 0
 
 

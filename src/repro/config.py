@@ -30,6 +30,7 @@ __all__ = [
     "DSPConfig",
     "StrikerConfig",
     "AcceleratorConfig",
+    "ReliabilityConfig",
     "SimulationConfig",
     "default_config",
 ]
@@ -270,6 +271,47 @@ class AcceleratorConfig:
 
 
 @dataclass(frozen=True)
+class ReliabilityConfig:
+    """Hostile-environment tolerance of the attack's control plane.
+
+    The paper's remote guidance runs over a microcontroller-class UART
+    sharing a noisy physical environment with the strikes it commands;
+    the on-chip start detector watches a sensor the striker itself
+    perturbs.  This section parameterizes how hard the attacker fights
+    back: the ARQ retry budget and backoff schedule for the link, and
+    the detector's tolerance for glitched samples inside a debounce
+    streak.  See ``docs/reliability.md``.
+    """
+
+    #: Retransmissions per operation after the first attempt.
+    max_retries: int = 10
+    #: First retransmission wait, seconds (simulated wall clock).
+    backoff_base_s: float = 1e-3
+    #: Multiplier applied to the wait after every failed attempt.
+    backoff_factor: float = 2.0
+    #: Ceiling on a single backoff wait, seconds.
+    backoff_max_s: float = 0.25
+    #: Total simulated wait budget per operation before the link is
+    #: declared dead, seconds.
+    op_timeout_s: float = 5.0
+    #: Non-conforming samples forgiven inside a detector debounce streak
+    #: (0 reproduces the paper's strict purification FSM).
+    detector_glitch_tolerance: int = 0
+
+    def validate(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigError("max_retries must be >= 0")
+        if self.backoff_base_s <= 0 or self.backoff_max_s <= 0:
+            raise ConfigError("backoff waits must be positive")
+        if self.backoff_factor < 1.0:
+            raise ConfigError("backoff_factor must be >= 1")
+        if self.op_timeout_s <= 0:
+            raise ConfigError("op_timeout_s must be positive")
+        if self.detector_glitch_tolerance < 0:
+            raise ConfigError("detector_glitch_tolerance must be >= 0")
+
+
+@dataclass(frozen=True)
 class SimulationConfig:
     """Bundle of all subsystem configurations plus the global RNG seed."""
 
@@ -280,6 +322,7 @@ class SimulationConfig:
     dsp: DSPConfig = field(default_factory=DSPConfig)
     striker: StrikerConfig = field(default_factory=StrikerConfig)
     accel: AcceleratorConfig = field(default_factory=AcceleratorConfig)
+    reliability: ReliabilityConfig = field(default_factory=ReliabilityConfig)
     seed: int = 20210705
 
     def validate(self) -> "SimulationConfig":
@@ -291,6 +334,7 @@ class SimulationConfig:
         self.dsp.validate()
         self.striker.validate()
         self.accel.validate()
+        self.reliability.validate()
         if self.pdn.v_nominal != self.delay.v_nominal:
             raise ConfigError(
                 "PDN and delay model disagree on nominal voltage: "

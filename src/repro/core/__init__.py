@@ -28,11 +28,13 @@ from .blind import BlindAttack
 from .campaign import (
     CampaignResult,
     CampaignSpec,
+    CellFailure,
     load_campaign,
     run_campaign,
     save_campaign,
 )
-from .remote import RemoteAttacker, UARTLink
+from .link_faults import LinkFaultConfig, LinkFaultModel, LinkStats
+from .remote import RemoteAttacker, TraceReply, UARTLink
 from .evaluation import AttackOutcome, LayerSweepResult, sweep_to_rows
 
 __all__ = [
@@ -43,14 +45,19 @@ __all__ = [
     "BlindAttack",
     "CampaignResult",
     "CampaignSpec",
+    "CellFailure",
     "DeepStrike",
     "DetectorState",
     "DNNStartDetector",
     "LayerSignature",
     "LayerSweepResult",
+    "LinkFaultConfig",
+    "LinkFaultModel",
+    "LinkStats",
     "RemoteAttacker",
     "SideChannelProfiler",
     "SignalRAM",
+    "TraceReply",
     "UARTLink",
     "load_campaign",
     "run_campaign",

@@ -4,26 +4,50 @@ A *campaign* is the full Fig 5(b)-style study — several targets, several
 strike counts, a blind baseline — executed once and persisted as JSON so
 reports and notebooks can consume the numbers without re-simulation.
 The CLI's ``report`` subcommand and downstream analyses build on this.
+
+Long campaigns run in a hostile environment (they are, after all,
+simulating an attack that destabilizes its own platform), so execution
+is fault-isolated and resumable:
+
+* every ``(target, strike count)`` cell runs under its *own*
+  deterministically derived RNG stream, so a cell's numbers do not
+  depend on which cells ran before it;
+* a failing cell records a structured :class:`CellFailure` and the
+  campaign carries on instead of dying;
+* with ``checkpoint_path`` set, an atomically written checkpoint (temp
+  file + ``os.replace``) lands after every cell, and
+  ``resume_from=<checkpoint>`` skips completed cells — an interrupted
+  campaign resumed from its checkpoint produces a byte-identical final
+  JSON to an uninterrupted run.
+
+File format v2 adds the ``failures`` and ``complete`` fields; v1 files
+still load.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
+import tempfile
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..errors import ConfigError
+from ..errors import ConfigError, ReproError
 from .attack import DeepStrike
 from .blind import BlindAttack
 from .evaluation import AttackOutcome, LayerSweepResult
 
-__all__ = ["CampaignSpec", "CampaignResult", "run_campaign",
+__all__ = ["CampaignSpec", "CampaignResult", "CellFailure", "run_campaign",
            "save_campaign", "load_campaign"]
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: Sweep name under which the unguided baseline's cells are recorded.
+BLIND_TARGET = "blind"
 
 
 @dataclass(frozen=True)
@@ -62,6 +86,23 @@ class CampaignSpec:
             blind_counts=(1500, 4500),
         )
 
+    def cells(self) -> List[Tuple[str, int]]:
+        """Every ``(target, count)`` cell in canonical execution order."""
+        out = [(layer, count) for layer, counts in self.sweeps
+               for count in counts]
+        out.extend((BLIND_TARGET, count) for count in self.blind_counts)
+        return out
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """One isolated per-cell failure (the campaign kept going)."""
+
+    target_layer: str
+    n_strikes: int
+    error_type: str
+    message: str
+
 
 @dataclass
 class CampaignResult:
@@ -70,6 +111,7 @@ class CampaignResult:
     spec: CampaignSpec
     clean_accuracy: float
     sweeps: List[LayerSweepResult] = field(default_factory=list)
+    failures: List[CellFailure] = field(default_factory=list)
 
     def sweep(self, target: str) -> LayerSweepResult:
         for s in self.sweeps:
@@ -84,35 +126,134 @@ class CampaignResult:
         return max(self.sweeps, key=lambda s: s.max_drop).target_layer
 
 
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+
+
+def _cell_seed(base: int, target: str, count: int) -> int:
+    """Stable 64-bit per-cell seed (process-independent, unlike hash())."""
+    digest = hashlib.blake2s(f"{base}:{target}:{count}".encode(),
+                             digest_size=8).digest()
+    return int.from_bytes(digest, "little")
+
+
+def _reseed(rng: np.random.Generator, seed: int) -> None:
+    """Reset a generator in place so aliased references follow along."""
+    rng.bit_generator.state = np.random.default_rng(seed).bit_generator.state
+
+
+def _assemble(spec: CampaignSpec, clean: float,
+              outcomes: Dict[Tuple[str, int], AttackOutcome],
+              failures: Dict[Tuple[str, int], CellFailure]
+              ) -> CampaignResult:
+    """Build a result from whatever cells exist, in canonical order."""
+    result = CampaignResult(spec=spec, clean_accuracy=clean)
+    for layer, counts in spec.sweeps:
+        sweep = LayerSweepResult(layer)
+        sweep.outcomes = [outcomes[(layer, c)] for c in counts
+                          if (layer, c) in outcomes]
+        result.sweeps.append(sweep)
+    if spec.blind_counts:
+        sweep = LayerSweepResult(BLIND_TARGET)
+        sweep.outcomes = [outcomes[(BLIND_TARGET, c)]
+                          for c in spec.blind_counts
+                          if (BLIND_TARGET, c) in outcomes]
+        result.sweeps.append(sweep)
+    result.failures = [failures[key] for key in spec.cells()
+                       if key in failures]
+    return result
+
+
 def run_campaign(attack: DeepStrike, images: np.ndarray,
                  labels: np.ndarray,
-                 spec: Optional[CampaignSpec] = None) -> CampaignResult:
-    """Execute a campaign with the given attacker."""
-    plan_spec = spec or CampaignSpec.fig5b_default()
+                 spec: Optional[CampaignSpec] = None,
+                 *,
+                 checkpoint_path=None,
+                 resume_from=None,
+                 before_cell: Optional[Callable[[str, int], None]] = None,
+                 ) -> CampaignResult:
+    """Execute a campaign with the given attacker.
+
+    Parameters
+    ----------
+    checkpoint_path:
+        Write an atomically replaced checkpoint here after every cell.
+    resume_from:
+        Path of a checkpoint (or finished campaign file) whose completed
+        cells are skipped.  Its spec must match ``spec`` when both are
+        given; with ``spec=None`` the checkpoint's spec is used.  Cells
+        that previously *failed* are retried.
+    before_cell:
+        Called with ``(target, count)`` before each cell executes.  A
+        :class:`~repro.errors.ReproError` raised here (or inside the
+        cell) is recorded as a :class:`CellFailure`; anything else —
+        notably ``KeyboardInterrupt`` — propagates, leaving the last
+        checkpoint valid on disk.
+    """
+    plan_spec = spec
+    outcomes: Dict[Tuple[str, int], AttackOutcome] = {}
+    failures: Dict[Tuple[str, int], CellFailure] = {}
+    clean: Optional[float] = None
+
+    if resume_from is not None:
+        previous = load_campaign(resume_from)
+        if plan_spec is None:
+            plan_spec = previous.spec
+        elif previous.spec != plan_spec:
+            raise ConfigError(
+                "checkpoint spec does not match the requested campaign "
+                "spec; refusing to mix results"
+            )
+        clean = previous.clean_accuracy
+        for sweep in previous.sweeps:
+            for outcome in sweep.outcomes:
+                outcomes[(sweep.target_layer, outcome.n_strikes)] = outcome
+    plan_spec = plan_spec or CampaignSpec.fig5b_default()
+
     n = min(plan_spec.eval_images, images.shape[0])
     images = images[:n]
     labels = labels[:n]
 
-    clean = float(
-        (attack.engine.predict_clean(images) == labels).mean()
-    )
-    result = CampaignResult(spec=plan_spec, clean_accuracy=clean)
-    for layer, counts in plan_spec.sweeps:
-        sweep = LayerSweepResult(layer)
-        for count in counts:
-            plan = attack.plan_for_layer(layer, count)
-            sweep.outcomes.append(attack.execute(images, labels, plan))
-        result.sweeps.append(sweep)
-    if plan_spec.blind_counts:
-        blind = BlindAttack(attack.engine, bank_cells=attack.bank_cells,
-                            rng=np.random.default_rng(plan_spec.seed + 1))
-        sweep = LayerSweepResult("blind")
-        for count in plan_spec.blind_counts:
-            sweep.outcomes.append(
-                blind.execute(images, labels, blind.plan_random(count))
+    if clean is None:
+        clean = float(
+            (attack.engine.predict_clean(images) == labels).mean()
+        )
+
+    blind: Optional[BlindAttack] = None
+    for target, count in plan_spec.cells():
+        if (target, count) in outcomes:
+            continue
+        try:
+            if before_cell is not None:
+                before_cell(target, count)
+            seed = _cell_seed(plan_spec.seed, target, count)
+            _reseed(attack.engine.rng, seed)
+            if target == BLIND_TARGET:
+                if blind is None:
+                    blind = BlindAttack(attack.engine,
+                                        bank_cells=attack.bank_cells,
+                                        rng=np.random.default_rng(0))
+                _reseed(blind.rng, seed ^ 0x9E3779B9)
+                outcome = blind.execute(images, labels,
+                                        blind.plan_random(count))
+            else:
+                plan = attack.plan_for_layer(target, count)
+                outcome = attack.execute(images, labels, plan)
+            outcomes[(target, count)] = outcome
+        except ReproError as exc:
+            failures[(target, count)] = CellFailure(
+                target_layer=target, n_strikes=count,
+                error_type=type(exc).__name__, message=str(exc),
             )
-        result.sweeps.append(sweep)
-    return result
+        finally:
+            if checkpoint_path is not None:
+                result = _assemble(plan_spec, clean, outcomes, failures)
+                _atomic_write_text(
+                    checkpoint_path,
+                    _to_json(result, complete=False),
+                )
+    return _assemble(plan_spec, clean, outcomes, failures)
 
 
 # ---------------------------------------------------------------------------
@@ -120,10 +261,28 @@ def run_campaign(attack: DeepStrike, images: np.ndarray,
 # ---------------------------------------------------------------------------
 
 
-def save_campaign(result: CampaignResult, path) -> None:
-    """Write a campaign result as JSON."""
+def _atomic_write_text(path, text: str) -> None:
+    """Write via a same-directory temp file + ``os.replace`` so an
+    interrupt can never leave a truncated file at ``path``."""
+    path = Path(path)
+    fd, tmp = tempfile.mkstemp(dir=path.parent or Path("."),
+                               prefix=path.name + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def _to_json(result: CampaignResult, complete: bool) -> str:
     payload = {
         "format_version": FORMAT_VERSION,
+        "complete": complete,
         "spec": {
             "sweeps": [[layer, list(counts)]
                        for layer, counts in result.spec.sweeps],
@@ -140,18 +299,28 @@ def save_campaign(result: CampaignResult, path) -> None:
             }
             for s in result.sweeps
         ],
+        "failures": [asdict(f) for f in result.failures],
     }
-    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    return json.dumps(payload, indent=2) + "\n"
+
+
+def save_campaign(result: CampaignResult, path) -> None:
+    """Write a campaign result as JSON (atomically)."""
+    _atomic_write_text(path, _to_json(result, complete=True))
 
 
 def load_campaign(path) -> CampaignResult:
-    """Read a campaign result back from JSON."""
+    """Read a campaign result (or checkpoint) back from JSON.
+
+    Accepts the current format (v2) and the original v1 files, which had
+    no ``failures``/``complete`` fields.
+    """
     payload = json.loads(Path(path).read_text())
     version = payload.get("format_version")
-    if version != FORMAT_VERSION:
+    if version not in (1, FORMAT_VERSION):
         raise ConfigError(
             f"campaign file format {version!r} unsupported "
-            f"(expected {FORMAT_VERSION})"
+            f"(expected 1..{FORMAT_VERSION})"
         )
     raw_spec = payload["spec"]
     spec = CampaignSpec(
@@ -169,4 +338,6 @@ def load_campaign(path) -> CampaignResult:
         for raw in sweep_data["outcomes"]:
             sweep.outcomes.append(AttackOutcome(**raw))
         result.sweeps.append(sweep)
+    result.failures = [CellFailure(**raw)
+                       for raw in payload.get("failures", ())]
     return result

@@ -1,0 +1,139 @@
+"""Stochastic fault model for the remote guidance link.
+
+The paper's prototype drives the attack over a microcontroller-class
+UART (Section III-D); in a real deployment that channel crosses a
+hostile physical environment — the same rail collapses the attacker is
+inducing, plus whatever the datacenter adds.  This module models the
+five classic failure modes of such a serial link, each applied per
+frame with a configured probability from a seeded RNG:
+
+* **drop** — the frame vanishes,
+* **corrupt** — one random bit flips in flight,
+* **truncate** — the tail of the frame is cut off,
+* **duplicate** — the frame is delivered twice,
+* **reorder** — the frame overtakes the previously sent one.
+
+:class:`~repro.core.remote.UARTLink` applies the model symmetrically to
+both directions; the ARQ layer in
+:class:`~repro.core.remote.RemoteAttacker` is what makes the channel
+usable again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError
+
+__all__ = ["LinkFaultConfig", "LinkFaultModel", "LinkStats", "FATES"]
+
+#: Frame fates the model can assign (besides clean delivery).
+FATES = ("drop", "corrupt", "truncate", "duplicate", "reorder")
+
+
+@dataclass(frozen=True)
+class LinkFaultConfig:
+    """Per-frame fault probabilities; at most one fault hits a frame."""
+
+    drop: float = 0.0
+    corrupt: float = 0.0
+    truncate: float = 0.0
+    duplicate: float = 0.0
+    reorder: float = 0.0
+
+    def __post_init__(self) -> None:
+        total = 0.0
+        for name in FATES:
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ConfigError(f"{name} probability {p} outside [0, 1]")
+            total += p
+        if total > 1.0 + 1e-12:
+            raise ConfigError(
+                f"fault probabilities sum to {total:.3f} > 1"
+            )
+
+    @property
+    def total_probability(self) -> float:
+        """Probability that *any* fault hits a given frame."""
+        return min(1.0, sum(getattr(self, name) for name in FATES))
+
+    @classmethod
+    def lossy(cls, probability: float) -> "LinkFaultConfig":
+        """A drop + corrupt mix with the given total fault probability —
+        the canonical noisy-serial-line model."""
+        return cls(drop=probability / 2.0, corrupt=probability / 2.0)
+
+
+@dataclass
+class LinkStats:
+    """What the link did to the frames that crossed it."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    corrupted: int = 0
+    truncated: int = 0
+    duplicated: int = 0
+    reordered: int = 0
+
+    @property
+    def faulted(self) -> int:
+        return (self.dropped + self.corrupted + self.truncated
+                + self.duplicated + self.reordered)
+
+
+class LinkFaultModel:
+    """Seeded per-frame fate sampler plus the frame manglers."""
+
+    def __init__(self, config: LinkFaultConfig,
+                 rng: Optional[np.random.Generator] = None,
+                 seed: int = 0) -> None:
+        self.config = config
+        self.rng = rng if rng is not None else np.random.default_rng(seed)
+
+    def fate(self) -> str:
+        """Draw one fate for a frame: a fault name or ``"ok"``."""
+        u = float(self.rng.random())
+        acc = 0.0
+        for name in FATES:
+            acc += getattr(self.config, name)
+            if u < acc:
+                return name
+        return "ok"
+
+    def transmit(self, frame: bytes) -> Tuple[str, List[bytes]]:
+        """Fate plus the byte strings the far end actually receives.
+
+        ``"reorder"`` returns the frame unchanged — queue position is the
+        transport's business, so the caller reorders.
+        """
+        fate = self.fate()
+        if fate == "drop":
+            return fate, []
+        if fate == "corrupt":
+            return fate, [self.corrupt_frame(frame)]
+        if fate == "truncate":
+            return fate, [self.truncate_frame(frame)]
+        if fate == "duplicate":
+            return fate, [frame, frame]
+        return fate, [frame]
+
+    def corrupt_frame(self, frame: bytes) -> bytes:
+        """Flip one uniformly random bit."""
+        if not frame:
+            return frame
+        mangled = bytearray(frame)
+        bit = int(self.rng.integers(0, 8 * len(mangled)))
+        mangled[bit // 8] ^= 1 << (bit % 8)
+        return bytes(mangled)
+
+    def truncate_frame(self, frame: bytes) -> bytes:
+        """Keep a uniformly random proper prefix (possibly empty)."""
+        if not frame:
+            return frame
+        keep = int(self.rng.integers(0, len(frame)))
+        return frame[:keep]

@@ -6,21 +6,51 @@ channel at message level with a small framed protocol (start byte,
 opcode, length, payload, additive checksum) so framing and corruption
 handling are real, while byte timing — irrelevant to the attack — is not
 simulated.
+
+Because the physical channel is hostile (the attacker is collapsing the
+rail it shares), the link accepts a :class:`~repro.core.link_faults.
+LinkFaultModel` that drops, flips, truncates, duplicates, or reorders
+frames, and the host side runs a stop-and-wait ARQ on top:
+
+* every request payload leads with a 1-byte **sequence number**, which
+  every reply echoes, so stale and duplicated replies are discarded;
+* the device caches its last reply and replays it for a retransmitted
+  request instead of re-executing it;
+* a NAK carries a **reason code** — corruption-class NAKs trigger
+  retransmission, while ``NAK_REJECTED`` (a well-formed but illegal
+  request, e.g. an invalid scheme) is permanent and is not retried;
+* retries are bounded and exponentially backed off; exhausting the
+  budget (or the per-operation timeout) raises the typed
+  :class:`~repro.errors.LinkDeadError` rather than returning garbage.
+
+On-the-wire layout of an ARQ frame::
+
+    SOF | opcode | len (2B LE) | seq (1B) | body | checksum
+         ^------------ len covers seq+body ------------^
+
+Trace replies additionally report how many readouts saturated the uint8
+wire format (``flags`` bit 0 plus a 32-bit count), so the host knows
+when ``np.clip`` destroyed information instead of silently accepting it.
 """
 
 from __future__ import annotations
 
 import struct
+import warnings
 from collections import deque
+from dataclasses import dataclass
 from typing import Deque, Optional, Tuple
 
 import numpy as np
 
-from ..errors import ReproError
+from ..config import ReliabilityConfig
+from ..errors import LinkDeadError, ReproError
+from .link_faults import LinkFaultModel, LinkStats
 from .scheme import AttackScheme
 from .scheduler import AttackScheduler
 
-__all__ = ["UARTLink", "RemoteAttacker", "FrameError"]
+__all__ = ["UARTLink", "RemoteAttacker", "FrameError", "ARQStats",
+           "TraceReply"]
 
 SOF = 0xA5
 
@@ -29,6 +59,15 @@ OP_READ_TRACE = 0x02
 OP_TRACE_DATA = 0x82
 OP_ACK = 0x80
 OP_NAK = 0x81
+
+#: NAK reason codes (first byte after the echoed seq; a NAK for an
+#: undecodable frame has no seq to echo and carries the reason alone).
+NAK_BAD_FRAME = 0x01   # frame failed decode; sender should retransmit
+NAK_MALFORMED = 0x02   # unknown opcode or wrong payload length
+NAK_REJECTED = 0x03    # well-formed but refused (permanent; not retried)
+
+#: Trace-reply flag bits.
+TRACE_FLAG_SATURATED = 0x01
 
 
 class FrameError(ReproError):
@@ -71,25 +110,85 @@ def decode_frame(data: bytes) -> Tuple[int, bytes]:
 
 
 class UARTLink:
-    """A bidirectional in-memory serial link (host end + device end)."""
+    """A bidirectional in-memory serial link (host end + device end).
 
-    def __init__(self) -> None:
+    With a ``fault_model`` attached, every frame sent in either direction
+    rolls one fate — dropped, bit-flipped, truncated, duplicated,
+    reordered, or delivered clean — and :attr:`stats` records the tally.
+    """
+
+    def __init__(self, fault_model: Optional[LinkFaultModel] = None) -> None:
         self._to_device: Deque[bytes] = deque()
         self._to_host: Deque[bytes] = deque()
+        self.fault_model = fault_model
+        self.stats = LinkStats()
+
+    def _deliver(self, queue: Deque[bytes], frame: bytes) -> None:
+        self.stats.sent += 1
+        if self.fault_model is None:
+            queue.append(frame)
+            self.stats.delivered += 1
+            return
+        fate, frames = self.fault_model.transmit(frame)
+        if fate == "drop":
+            self.stats.dropped += 1
+            return
+        if fate == "corrupt":
+            self.stats.corrupted += 1
+        elif fate == "truncate":
+            self.stats.truncated += 1
+        elif fate == "duplicate":
+            self.stats.duplicated += 1
+        elif fate == "reorder" and queue:
+            # Overtake the frame already in flight.
+            self.stats.reordered += 1
+            queue.insert(len(queue) - 1, frame)
+            self.stats.delivered += 1
+            return
+        self.stats.delivered += 1
+        queue.extend(frames)
 
     # host side
     def host_send(self, frame: bytes) -> None:
-        self._to_device.append(frame)
+        self._deliver(self._to_device, frame)
 
     def host_recv(self) -> Optional[bytes]:
         return self._to_host.popleft() if self._to_host else None
 
     # device side
     def device_send(self, frame: bytes) -> None:
-        self._to_host.append(frame)
+        self._deliver(self._to_host, frame)
 
     def device_recv(self) -> Optional[bytes]:
         return self._to_device.popleft() if self._to_device else None
+
+
+@dataclass
+class ARQStats:
+    """Host-side view of how hard the ARQ layer had to work."""
+
+    ops: int = 0
+    attempts: int = 0
+    retransmissions: int = 0
+    acks: int = 0
+    naks: int = 0
+    corrupt_replies: int = 0
+    stale_replies: int = 0
+    timeouts: int = 0
+    backoff_s: float = 0.0  # total simulated retransmission wait
+
+
+@dataclass(frozen=True)
+class TraceReply:
+    """A downloaded trace plus its downlink integrity metadata."""
+
+    samples: np.ndarray
+    saturated: int  # readouts clipped to uint8 on the device
+    flags: int = 0
+
+    @property
+    def was_saturated(self) -> bool:
+        return bool(self.flags & TRACE_FLAG_SATURATED)
 
 
 class RemoteAttacker:
@@ -98,14 +197,25 @@ class RemoteAttacker:
     >>> from repro.core.remote import RemoteAttacker, UARTLink
     """
 
-    def __init__(self, link: UARTLink, scheduler: AttackScheduler) -> None:
+    def __init__(self, link: UARTLink, scheduler: AttackScheduler,
+                 reliability: Optional[ReliabilityConfig] = None) -> None:
         self.link = link
         self.scheduler = scheduler
+        self.reliability = (reliability if reliability is not None
+                            else scheduler.sim_config.reliability)
+        self.stats = ARQStats()
+        self.last_trace: Optional[TraceReply] = None
+        self._next_seq = 0
+        # Device-side dedup cache: a byte-identical consecutive request is
+        # a retransmission; replay the reply instead of re-executing.
+        self._dev_last_raw: Optional[bytes] = None
+        self._dev_last_reply: Optional[bytes] = None
 
     # -- host-side API ----------------------------------------------------------
 
     def upload_scheme(self, scheme: AttackScheme) -> bool:
-        """Send a scheme to the device; returns True on ACK."""
+        """Send a scheme to the device; True on ACK, False if the device
+        rejected it, :class:`LinkDeadError` if the link gave out."""
         payload = struct.pack(
             "<IIII",
             scheme.attack_delay,
@@ -113,26 +223,110 @@ class RemoteAttacker:
             scheme.number_of_attacks,
             scheme.strike_cycles,
         )
-        self.link.host_send(encode_frame(OP_LOAD_SCHEME, payload))
-        self.service_device()
-        reply = self.link.host_recv()
-        if reply is None:
-            return False
-        opcode, _ = decode_frame(reply)
+        opcode, _ = self._transact(OP_LOAD_SCHEME, payload)
         return opcode == OP_ACK
 
     def download_trace(self, max_samples: int = 4096) -> np.ndarray:
-        """Fetch the most recent sensor readouts from the device."""
+        """Fetch the most recent sensor readouts from the device.
+
+        Returns the samples; :attr:`last_trace` additionally carries the
+        device's count of readouts that saturated the uint8 wire format
+        (a warning is emitted when that count is nonzero).
+        """
         payload = struct.pack("<I", max_samples)
-        self.link.host_send(encode_frame(OP_READ_TRACE, payload))
-        self.service_device()
-        reply = self.link.host_recv()
-        if reply is None:
-            raise FrameError("no trace reply from the device")
-        opcode, data = decode_frame(reply)
-        if opcode != OP_TRACE_DATA:
-            raise FrameError(f"unexpected reply opcode 0x{opcode:02x}")
-        return np.frombuffer(data, dtype=np.uint8).astype(np.int64)
+        opcode, data = self._transact(OP_READ_TRACE, payload)
+        if opcode != OP_TRACE_DATA or len(data) < 5:
+            raise FrameError(f"unexpected trace reply (opcode 0x{opcode:02x})")
+        flags = data[0]
+        (saturated,) = struct.unpack("<I", data[1:5])
+        samples = np.frombuffer(data[5:], dtype=np.uint8).astype(np.int64)
+        self.last_trace = TraceReply(samples=samples, saturated=saturated,
+                                     flags=flags)
+        if saturated:
+            warnings.warn(
+                f"{saturated} readout(s) were clipped to uint8 on the "
+                "trace downlink; the trace under-reports droop depth",
+                RuntimeWarning, stacklevel=2,
+            )
+        return samples
+
+    # -- host-side ARQ machinery ----------------------------------------------------------
+
+    def _transact(self, opcode: int, body: bytes) -> Tuple[int, bytes]:
+        """One sequence-numbered request/reply exchange with retries.
+
+        Returns ``(reply opcode, reply payload without the seq byte)``;
+        a returned NAK is always ``NAK_REJECTED`` (permanent).  Raises
+        :class:`LinkDeadError` when the retry or timeout budget runs out.
+        """
+        rel = self.reliability
+        seq = self._next_seq
+        self._next_seq = (self._next_seq + 1) & 0xFF
+        frame = encode_frame(opcode, bytes([seq]) + body)
+        self.stats.ops += 1
+        self._drain_stale()
+        backoff = rel.backoff_base_s
+        waited = 0.0
+        attempts = 0
+        for attempt in range(rel.max_retries + 1):
+            attempts = attempt + 1
+            self.stats.attempts += 1
+            if attempt:
+                self.stats.retransmissions += 1
+            self.link.host_send(frame)
+            self.service_device()
+            reply = self._await_reply(seq)
+            if reply is not None:
+                return reply
+            # Nothing usable came back: wait (simulated) and retransmit.
+            self.stats.backoff_s += backoff
+            waited += backoff
+            backoff = min(backoff * rel.backoff_factor, rel.backoff_max_s)
+            if waited > rel.op_timeout_s:
+                self.stats.timeouts += 1
+                raise LinkDeadError(
+                    f"operation 0x{opcode:02x} timed out after {attempts} "
+                    f"attempt(s) (~{waited:.3g} s simulated wait)",
+                    attempts=attempts, waited_s=waited,
+                )
+        self.stats.timeouts += 1
+        raise LinkDeadError(
+            f"operation 0x{opcode:02x} gave up after {attempts} attempts",
+            attempts=attempts, waited_s=waited,
+        )
+
+    def _await_reply(self, seq: int) -> Optional[Tuple[int, bytes]]:
+        """Drain the host queue looking for this operation's reply.
+
+        None means retransmit; a permanent rejection comes back as
+        ``(OP_NAK, reason)``.
+        """
+        while True:
+            raw = self.link.host_recv()
+            if raw is None:
+                return None
+            try:
+                opcode, payload = decode_frame(raw)
+            except FrameError:
+                self.stats.corrupt_replies += 1
+                continue
+            if opcode == OP_NAK:
+                self.stats.naks += 1
+                if len(payload) == 2 and payload[0] == seq \
+                        and payload[1] == NAK_REJECTED:
+                    return opcode, payload[1:]
+                continue  # corruption-class NAK: fall through to retransmit
+            if opcode in (OP_ACK, OP_TRACE_DATA) and payload \
+                    and payload[0] == seq:
+                if opcode == OP_ACK:
+                    self.stats.acks += 1
+                return opcode, payload[1:]
+            self.stats.stale_replies += 1
+
+    def _drain_stale(self) -> None:
+        """Discard leftovers of previous operations before a new one."""
+        while self.link.host_recv() is not None:
+            self.stats.stale_replies += 1
 
     # -- device-side servicing ----------------------------------------------------------
 
@@ -145,26 +339,51 @@ class RemoteAttacker:
             try:
                 opcode, payload = decode_frame(raw)
             except FrameError:
-                self.link.device_send(encode_frame(OP_NAK, b""))
+                self.link.device_send(
+                    encode_frame(OP_NAK, bytes([NAK_BAD_FRAME]))
+                )
                 continue
-            if opcode == OP_LOAD_SCHEME and len(payload) == 16:
-                delay, period, count, width = struct.unpack("<IIII", payload)
-                try:
-                    scheme = AttackScheme(
-                        attack_delay=delay,
-                        attack_period=period,
-                        number_of_attacks=count,
-                        strike_cycles=width,
-                    )
-                    self.scheduler.load_scheme(scheme)
-                except ReproError:
-                    self.link.device_send(encode_frame(OP_NAK, b""))
-                    continue
-                self.link.device_send(encode_frame(OP_ACK, b""))
-            elif opcode == OP_READ_TRACE and len(payload) == 4:
-                (max_samples,) = struct.unpack("<I", payload)
-                trace = self.scheduler.readout_trace()[-max_samples:]
-                clipped = np.clip(trace, 0, 255).astype(np.uint8).tobytes()
-                self.link.device_send(encode_frame(OP_TRACE_DATA, clipped))
-            else:
-                self.link.device_send(encode_frame(OP_NAK, b""))
+            if raw == self._dev_last_raw and self._dev_last_reply is not None:
+                # Retransmission of the request we just served (its reply
+                # was lost): replay the cached reply, do not re-execute.
+                self.link.device_send(self._dev_last_reply)
+                continue
+            if not payload:
+                self.link.device_send(
+                    encode_frame(OP_NAK, bytes([NAK_MALFORMED]))
+                )
+                continue
+            reply = self._handle_request(payload[0], opcode, payload[1:])
+            self._dev_last_raw = raw
+            self._dev_last_reply = reply
+            self.link.device_send(reply)
+
+    def _handle_request(self, seq: int, opcode: int, body: bytes) -> bytes:
+        if opcode == OP_LOAD_SCHEME:
+            if len(body) != 16:
+                return encode_frame(OP_NAK, bytes([seq, NAK_MALFORMED]))
+            delay, period, count, width = struct.unpack("<IIII", body)
+            try:
+                scheme = AttackScheme(
+                    attack_delay=delay,
+                    attack_period=period,
+                    number_of_attacks=count,
+                    strike_cycles=width,
+                )
+                self.scheduler.load_scheme(scheme)
+            except ReproError:
+                return encode_frame(OP_NAK, bytes([seq, NAK_REJECTED]))
+            return encode_frame(OP_ACK, bytes([seq]))
+        if opcode == OP_READ_TRACE:
+            if len(body) != 4:
+                return encode_frame(OP_NAK, bytes([seq, NAK_MALFORMED]))
+            (max_samples,) = struct.unpack("<I", body)
+            trace = self.scheduler.readout_trace()[-max_samples:]
+            saturated = int(np.count_nonzero((trace < 0) | (trace > 255)))
+            clipped = np.clip(trace, 0, 255).astype(np.uint8).tobytes()
+            flags = TRACE_FLAG_SATURATED if saturated else 0
+            return encode_frame(
+                OP_TRACE_DATA,
+                bytes([seq, flags]) + struct.pack("<I", saturated) + clipped,
+            )
+        return encode_frame(OP_NAK, bytes([seq, NAK_MALFORMED]))

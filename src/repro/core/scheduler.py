@@ -12,7 +12,7 @@ integration tests demonstrate the full remote attack loop end to end.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 import numpy as np
 
@@ -51,8 +51,12 @@ class AttackScheduler(Tenant):
         delay_model = GateDelayModel(config.delay)
         self.sensor = TDCSensor(config.tdc, delay_model, theta, rng=rng)
         self.detector = detector or DNNStartDetector(
-            l_carry=config.tdc.l_carry
+            l_carry=config.tdc.l_carry,
+            glitch_tolerance=config.reliability.detector_glitch_tolerance,
         )
+        #: Optional post-sensor hook (e.g. chaos injection) applied to
+        #: every readout before the detector and trace buffer see it.
+        self.readout_filter: Optional[Callable[[int], int]] = None
         self.signal_ram = SignalRAM()
         netlist = build_tdc_netlist(config.tdc, name=f"{name}_tdc")
         budget = ResourceBudget(
@@ -91,6 +95,8 @@ class AttackScheduler(Tenant):
         pointer advances at the victim-cycle (f_sRAM) rate.
         """
         readout = self.sensor.readout(volts)
+        if self.readout_filter is not None:
+            readout = int(self.readout_filter(readout))
         self._readouts.append(readout)
         if not self.signal_ram.armed:
             if self.detector.observe_readout(readout):

@@ -40,6 +40,11 @@ class DNNStartDetector:
     debounce:
         Consecutive samples required for both arming and triggering —
         the noise purification stage.
+    glitch_tolerance:
+        How many non-conforming samples an in-progress debounce streak
+        forgives before resetting (hysteresis against single-sample
+        sensor glitches).  ``0`` is the strict classic behaviour; the
+        forgiven samples do not count toward the streak.
     l_carry / zones / fraction:
         Zone-sampling geometry (must match the sensor's encoder).
     """
@@ -52,6 +57,7 @@ class DNNStartDetector:
         l_carry: int = 128,
         zones: int = 5,
         fraction: float = 0.55,
+        glitch_tolerance: int = 0,
     ) -> None:
         if not 0 <= trigger_hw < arm_hw <= zones:
             raise SchedulerError(
@@ -60,9 +66,12 @@ class DNNStartDetector:
             )
         if debounce < 1:
             raise SchedulerError("debounce must be >= 1")
+        if glitch_tolerance < 0:
+            raise SchedulerError("glitch_tolerance must be >= 0")
         self.arm_hw = arm_hw
         self.trigger_hw = trigger_hw
         self.debounce = debounce
+        self.glitch_tolerance = glitch_tolerance
         self.l_carry = l_carry
         self.zones = zones
         self.fraction = fraction
@@ -71,6 +80,7 @@ class DNNStartDetector:
     def reset(self) -> None:
         self.state = DetectorState.IDLE
         self._streak = 0
+        self._glitches = 0
 
     # -- streaming interface ----------------------------------------------------------
 
@@ -87,22 +97,31 @@ class DNNStartDetector:
 
     def _advance(self, hw: int) -> bool:
         if self.state is DetectorState.IDLE:
-            if hw == self.arm_hw:
-                self._streak += 1
-                if self._streak >= self.debounce:
-                    self.state = DetectorState.ARMED
-                    self._streak = 0
-            else:
-                self._streak = 0
+            if self._debounce_step(hw == self.arm_hw):
+                self.state = DetectorState.ARMED
         elif self.state is DetectorState.ARMED:
-            if hw <= self.trigger_hw:
-                self._streak += 1
-                if self._streak >= self.debounce:
-                    self.state = DetectorState.TRIGGERED
-                    self._streak = 0
-                    return True
-            else:
+            if self._debounce_step(hw <= self.trigger_hw):
+                self.state = DetectorState.TRIGGERED
+                return True
+        return False
+
+    def _debounce_step(self, conforming: bool) -> bool:
+        """Advance the debounce counter; True when the streak completes.
+
+        A non-conforming sample mid-streak consumes one glitch credit
+        (up to ``glitch_tolerance``) instead of resetting the streak.
+        """
+        if conforming:
+            self._streak += 1
+            if self._streak >= self.debounce:
                 self._streak = 0
+                self._glitches = 0
+                return True
+        elif self._streak and self._glitches < self.glitch_tolerance:
+            self._glitches += 1
+        else:
+            self._streak = 0
+            self._glitches = 0
         return False
 
     # -- batch interface ----------------------------------------------------------

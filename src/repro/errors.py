@@ -53,3 +53,22 @@ class SimulationError(ReproError):
 
 class ProfilingError(ReproError):
     """Side-channel profiling could not segment or classify a trace."""
+
+
+class LinkDeadError(ReproError):
+    """The remote guidance link failed permanently.
+
+    Raised by the host-side ARQ layer once an operation has exhausted its
+    retransmission budget or its per-operation timeout — the typed signal
+    that the channel (not the request) is at fault.
+    """
+
+    def __init__(self, message: str, attempts: int = 0,
+                 waited_s: float = 0.0) -> None:
+        self.attempts = attempts
+        self.waited_s = waited_s
+        super().__init__(message)
+
+
+class ChaosError(ReproError):
+    """A failure injected by the chaos harness (not a real library bug)."""

@@ -1,0 +1,268 @@
+"""Lossy-link ARQ tests: fault model, NAK paths, retransmission, dedup."""
+
+import numpy as np
+import pytest
+
+from repro.config import ReliabilityConfig, default_config
+from repro.core import AttackScheme, RemoteAttacker, UARTLink
+from repro.core.link_faults import LinkFaultConfig, LinkFaultModel
+from repro.core.remote import (
+    NAK_BAD_FRAME,
+    NAK_MALFORMED,
+    NAK_REJECTED,
+    OP_ACK,
+    OP_LOAD_SCHEME,
+    OP_NAK,
+    decode_frame,
+    encode_frame,
+)
+from repro.core.scheduler import AttackScheduler
+from repro.errors import ConfigError, LinkDeadError
+from repro.sensors.calibration import theta_for_target
+from repro.sensors.delay import GateDelayModel
+from repro.striker import StrikerBank
+
+
+def make_remote(fault_model=None, reliability=None):
+    cfg = default_config()
+    bank = StrikerBank(100, cfg, structural_cells=4)
+    theta = theta_for_target(cfg.tdc, GateDelayModel(cfg.delay))
+    scheduler = AttackScheduler(cfg, bank, theta,
+                                rng=np.random.default_rng(0))
+    return RemoteAttacker(UARTLink(fault_model=fault_model), scheduler,
+                          reliability=reliability)
+
+
+def valid_scheme():
+    return AttackScheme(attack_delay=10, attack_period=5,
+                        number_of_attacks=3, strike_cycles=2)
+
+
+class TestLinkFaultConfig:
+    def test_probabilities_validated(self):
+        with pytest.raises(ConfigError):
+            LinkFaultConfig(drop=-0.1)
+        with pytest.raises(ConfigError):
+            LinkFaultConfig(drop=1.2)
+        with pytest.raises(ConfigError):
+            LinkFaultConfig(drop=0.6, corrupt=0.6)
+
+    def test_lossy_helper(self):
+        cfg = LinkFaultConfig.lossy(0.2)
+        assert cfg.drop == pytest.approx(0.1)
+        assert cfg.corrupt == pytest.approx(0.1)
+        assert cfg.total_probability == pytest.approx(0.2)
+
+    def test_fates_are_seeded(self):
+        cfg = LinkFaultConfig(drop=0.3, corrupt=0.3, truncate=0.2)
+        a = LinkFaultModel(cfg, seed=9)
+        b = LinkFaultModel(cfg, seed=9)
+        assert [a.fate() for _ in range(50)] == [b.fate() for _ in range(50)]
+
+    def test_corrupt_flips_exactly_one_bit(self):
+        model = LinkFaultModel(LinkFaultConfig(corrupt=1.0), seed=1)
+        frame = encode_frame(0x01, b"payload")
+        mangled = model.corrupt_frame(frame)
+        diff = [a ^ b for a, b in zip(frame, mangled)]
+        assert sum(bin(d).count("1") for d in diff) == 1
+
+    def test_truncate_is_proper_prefix(self):
+        model = LinkFaultModel(LinkFaultConfig(truncate=1.0), seed=2)
+        frame = encode_frame(0x01, b"payload")
+        for _ in range(20):
+            cut = model.truncate_frame(frame)
+            assert len(cut) < len(frame) and frame.startswith(cut)
+
+    def test_single_bit_flip_always_detected(self):
+        # An additive mod-256 checksum cannot be cancelled by one flip.
+        frame = encode_frame(0x01, bytes(range(16)))
+        for bit in range(8 * len(frame)):
+            mangled = bytearray(frame)
+            mangled[bit // 8] ^= 1 << (bit % 8)
+            with pytest.raises(Exception):
+                decode_frame(bytes(mangled))
+
+
+class TestDeviceNakPaths:
+    """Every FrameError / NAK branch in service_device."""
+
+    def _device_reply(self, remote, raw):
+        remote.link.host_send(raw)
+        remote.service_device()
+        return decode_frame(remote.link.host_recv())
+
+    def test_bad_sof_nakked(self):
+        remote = make_remote()
+        frame = bytearray(encode_frame(OP_LOAD_SCHEME, bytes(17)))
+        frame[0] = 0x00
+        opcode, payload = self._device_reply(remote, bytes(frame))
+        assert opcode == OP_NAK and payload == bytes([NAK_BAD_FRAME])
+
+    def test_short_frame_nakked(self):
+        remote = make_remote()
+        opcode, payload = self._device_reply(remote, b"\xa5\x01")
+        assert opcode == OP_NAK and payload == bytes([NAK_BAD_FRAME])
+
+    def test_empty_frame_nakked(self):
+        remote = make_remote()
+        opcode, payload = self._device_reply(remote, b"")
+        assert opcode == OP_NAK and payload == bytes([NAK_BAD_FRAME])
+
+    def test_length_mismatch_nakked(self):
+        remote = make_remote()
+        raw = encode_frame(OP_LOAD_SCHEME, bytes(17)) + b"\x00"
+        opcode, payload = self._device_reply(remote, raw)
+        assert opcode == OP_NAK and payload == bytes([NAK_BAD_FRAME])
+
+    def test_checksum_mismatch_nakked(self):
+        remote = make_remote()
+        frame = bytearray(encode_frame(OP_LOAD_SCHEME, bytes(17)))
+        frame[-1] ^= 0xFF
+        opcode, payload = self._device_reply(remote, bytes(frame))
+        assert opcode == OP_NAK and payload == bytes([NAK_BAD_FRAME])
+
+    def test_unknown_opcode_nakked(self):
+        remote = make_remote()
+        opcode, payload = self._device_reply(
+            remote, encode_frame(0x7F, bytes([9]) + b"body"))
+        assert opcode == OP_NAK
+        assert payload == bytes([9, NAK_MALFORMED])
+
+    def test_empty_payload_nakked(self):
+        remote = make_remote()
+        opcode, payload = self._device_reply(
+            remote, encode_frame(OP_LOAD_SCHEME, b""))
+        assert opcode == OP_NAK and payload == bytes([NAK_MALFORMED])
+
+    def test_load_scheme_wrong_length_nakked(self):
+        remote = make_remote()
+        opcode, payload = self._device_reply(
+            remote, encode_frame(OP_LOAD_SCHEME, bytes([5]) + bytes(7)))
+        assert opcode == OP_NAK
+        assert payload == bytes([5, NAK_MALFORMED])
+
+    def test_invalid_scheme_rejected_permanently(self):
+        remote = make_remote()
+        bad = bytes([3]) + b"\x00" * 16  # attack_delay=0 etc: invalid
+        opcode, payload = self._device_reply(
+            remote, encode_frame(OP_LOAD_SCHEME, bad))
+        assert opcode == OP_NAK
+        assert payload == bytes([3, NAK_REJECTED])
+
+
+class TestARQ:
+    def test_clean_link_single_attempt(self):
+        remote = make_remote()
+        assert remote.upload_scheme(valid_scheme())
+        assert remote.stats.retransmissions == 0
+        assert remote.stats.acks == 1
+
+    def test_lossy_link_100_of_100(self):
+        """Acceptance: p=0.2 drop+corrupt, 100/100 uploads succeed."""
+        model = LinkFaultModel(LinkFaultConfig.lossy(0.2), seed=42)
+        remote = make_remote(fault_model=model)
+        results = [remote.upload_scheme(valid_scheme()) for _ in range(100)]
+        assert sum(results) == 100
+        assert remote.link.stats.faulted > 0  # the link really was hostile
+        assert remote.stats.retransmissions > 0
+
+    def test_hostile_mix_still_converges(self):
+        model = LinkFaultModel(
+            LinkFaultConfig(drop=0.12, corrupt=0.1, truncate=0.05,
+                            duplicate=0.05, reorder=0.05), seed=7)
+        remote = make_remote(fault_model=model)
+        assert all(remote.upload_scheme(valid_scheme()) for _ in range(100))
+
+    def test_dead_link_raises_typed_error(self):
+        model = LinkFaultModel(LinkFaultConfig(drop=1.0), seed=0)
+        rel = ReliabilityConfig(max_retries=4)
+        remote = make_remote(fault_model=model, reliability=rel)
+        with pytest.raises(LinkDeadError) as excinfo:
+            remote.upload_scheme(valid_scheme())
+        assert excinfo.value.attempts == 5
+        assert excinfo.value.waited_s > 0
+
+    def test_op_timeout_raises(self):
+        model = LinkFaultModel(LinkFaultConfig(drop=1.0), seed=0)
+        rel = ReliabilityConfig(max_retries=1000, backoff_base_s=0.01,
+                                backoff_max_s=0.01, op_timeout_s=0.05)
+        remote = make_remote(fault_model=model, reliability=rel)
+        with pytest.raises(LinkDeadError) as excinfo:
+            remote.upload_scheme(valid_scheme())
+        assert excinfo.value.attempts < 100  # timeout, not retry budget
+        assert remote.stats.timeouts == 1
+
+    def test_backoff_grows_and_caps(self):
+        model = LinkFaultModel(LinkFaultConfig(drop=1.0), seed=0)
+        rel = ReliabilityConfig(max_retries=6, backoff_base_s=1e-3,
+                                backoff_factor=2.0, backoff_max_s=4e-3)
+        remote = make_remote(fault_model=model, reliability=rel)
+        with pytest.raises(LinkDeadError):
+            remote.upload_scheme(valid_scheme())
+        # 1+2+4+4+4+4+4 ms: doubling then clamped at backoff_max_s.
+        assert remote.stats.backoff_s == pytest.approx(23e-3)
+
+    def test_rejection_not_retried(self):
+        remote = make_remote()
+        bad = AttackScheme.__new__(AttackScheme)
+        object.__setattr__(bad, "attack_delay", 0)
+        object.__setattr__(bad, "attack_period", 0)
+        object.__setattr__(bad, "number_of_attacks", 0)
+        object.__setattr__(bad, "strike_cycles", 0)
+        assert remote.upload_scheme(bad) is False
+        assert remote.stats.retransmissions == 0
+        assert remote.stats.naks == 1
+
+    def test_device_dedup_replays_cached_reply(self):
+        """A retransmitted request must not re-execute on the device."""
+        remote = make_remote()
+        calls = []
+        orig = remote.scheduler.load_scheme
+        remote.scheduler.load_scheme = lambda s: (calls.append(s),
+                                                  orig(s))[1]
+        frame = encode_frame(
+            OP_LOAD_SCHEME,
+            bytes([7]) + __import__("struct").pack("<IIII", 10, 5, 3, 2))
+        for _ in range(3):  # original + two retransmissions
+            remote.link.host_send(frame)
+            remote.service_device()
+        assert len(calls) == 1
+        replies = []
+        while (raw := remote.link.host_recv()) is not None:
+            replies.append(decode_frame(raw))
+        assert replies == [(OP_ACK, bytes([7]))] * 3
+
+    def test_duplicate_replies_discarded(self):
+        model = LinkFaultModel(LinkFaultConfig(duplicate=1.0), seed=0)
+        remote = make_remote(fault_model=model)
+        assert remote.upload_scheme(valid_scheme())
+        assert remote.upload_scheme(valid_scheme())
+
+
+class TestTraceSaturation:
+    def test_round_trip_with_saturating_readouts(self):
+        remote = make_remote()
+        injected = [12, 250, 255, 256, 300, 1000, 7]
+        remote.scheduler._readouts = list(injected)
+        with pytest.warns(RuntimeWarning, match="clipped to uint8"):
+            samples = remote.download_trace()
+        assert samples.tolist() == [12, 250, 255, 255, 255, 255, 7]
+        assert remote.last_trace.saturated == 3
+        assert remote.last_trace.was_saturated
+
+    def test_unsaturated_trace_has_no_flag(self):
+        remote = make_remote()
+        remote.scheduler._readouts = [1, 2, 3, 255]
+        samples = remote.download_trace()
+        assert samples.tolist() == [1, 2, 3, 255]
+        assert remote.last_trace.saturated == 0
+        assert not remote.last_trace.was_saturated
+
+    def test_saturation_survives_lossy_link(self):
+        model = LinkFaultModel(LinkFaultConfig.lossy(0.2), seed=3)
+        remote = make_remote(fault_model=model)
+        remote.scheduler._readouts = [100, 400, 90]
+        with pytest.warns(RuntimeWarning):
+            samples = remote.download_trace()
+        assert samples.tolist() == [100, 255, 90]
+        assert remote.last_trace.saturated == 1

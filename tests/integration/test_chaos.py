@@ -1,0 +1,254 @@
+"""Chaos-injection integration tests.
+
+The reliability layer's contract: under injected sensor noise, dropped
+triggers, mangled link frames, and killed campaign cells, the attack
+loop either converges anyway or fails with a *typed* error — never
+silently wrong.  ``CHAOS_SEED`` (env var) reseeds the whole suite so CI
+can sweep seeds.
+"""
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chaos import CHAOS_PRESETS, ChaosInjector, chaos_preset
+from repro.config import ReliabilityConfig, default_config
+from repro.core import (
+    AttackScheme,
+    CampaignSpec,
+    DeepStrike,
+    DetectorState,
+    DNNStartDetector,
+    RemoteAttacker,
+    UARTLink,
+    run_campaign,
+)
+from repro.core.link_faults import LinkFaultConfig, LinkFaultModel
+from repro.core.scheduler import AttackScheduler
+from repro.errors import ChaosError, LinkDeadError
+from repro.nn.model import PROBE_INPUT_SHAPE
+from repro.sensors.calibration import theta_for_target
+from repro.sensors.delay import GateDelayModel
+from repro.striker import StrikerBank
+from repro.testbed import build_attack_testbed
+
+CHAOS_SEED = int(os.environ.get("CHAOS_SEED", "0"))
+
+
+def make_remote(fault_model=None, reliability=None):
+    cfg = default_config()
+    bank = StrikerBank(100, cfg, structural_cells=4)
+    theta = theta_for_target(cfg.tdc, GateDelayModel(cfg.delay))
+    scheduler = AttackScheduler(cfg, bank, theta,
+                                rng=np.random.default_rng(0))
+    return RemoteAttacker(UARTLink(fault_model=fault_model), scheduler,
+                          reliability=reliability)
+
+
+@pytest.fixture(scope="module")
+def probe_testbed():
+    from repro.nn import build_probe_model, quantize_model
+
+    return build_attack_testbed(quantize_model(build_probe_model()),
+                                input_shape=PROBE_INPUT_SHAPE,
+                                bank_cells=5000, seed=2024)
+
+
+# ---------------------------------------------------------------------------
+# Property tests (hypothesis)
+# ---------------------------------------------------------------------------
+
+
+class TestArqProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        drop=st.floats(0.0, 0.15),
+        corrupt=st.floats(0.0, 0.1),
+        truncate=st.floats(0.0, 0.05),
+        seed=st.integers(0, 2**16),
+    )
+    def test_moderately_lossy_links_always_converge(self, drop, corrupt,
+                                                    truncate, seed):
+        """Fault mass <= 0.3 with a generous retry budget: the upload
+        must succeed, and the scheme the device loads must be intact."""
+        model = LinkFaultModel(
+            LinkFaultConfig(drop=drop, corrupt=corrupt, truncate=truncate),
+            seed=seed ^ CHAOS_SEED)
+        remote = make_remote(
+            fault_model=model,
+            reliability=ReliabilityConfig(max_retries=60, op_timeout_s=60.0))
+        loaded = []
+        orig = remote.scheduler.load_scheme
+        remote.scheduler.load_scheme = \
+            lambda s: (loaded.append(s), orig(s))[1]
+        sent = AttackScheme(attack_delay=10, attack_period=5,
+                            number_of_attacks=3, strike_cycles=2)
+        assert remote.upload_scheme(sent)
+        assert loaded and all(s == sent for s in loaded)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        probability=st.floats(0.0, 0.9),
+        seed=st.integers(0, 2**16),
+    )
+    def test_no_silent_failure_at_any_loss_rate(self, probability, seed):
+        """Arbitrarily hostile links: success or LinkDeadError, and any
+        scheme that reaches the scheduler is byte-exact."""
+        model = LinkFaultModel(LinkFaultConfig.lossy(probability),
+                               seed=seed ^ CHAOS_SEED)
+        remote = make_remote(fault_model=model,
+                             reliability=ReliabilityConfig(max_retries=8))
+        loaded = []
+        orig = remote.scheduler.load_scheme
+        remote.scheduler.load_scheme = \
+            lambda s: (loaded.append(s), orig(s))[1]
+        sent = AttackScheme(attack_delay=7, attack_period=4,
+                            number_of_attacks=2, strike_cycles=1)
+        try:
+            assert remote.upload_scheme(sent)
+        except LinkDeadError:
+            pass
+        assert all(s == sent for s in loaded)
+
+
+class TestDetectorProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(data=st.data(),
+           debounce=st.integers(2, 6),
+           glitches=st.integers(1, 3))
+    def test_hysteresis_forgives_in_streak_glitches(self, data, debounce,
+                                                    glitches):
+        det = DNNStartDetector(debounce=debounce,
+                               glitch_tolerance=glitches)
+        for _ in range(debounce):
+            det._advance(4)  # arm
+        assert det.state is DetectorState.ARMED
+        # A trigger streak with up to `glitches` bad samples inside it.
+        stream = [3] * debounce
+        for _ in range(glitches):
+            pos = data.draw(st.integers(1, len(stream) - 1))
+            stream.insert(pos, 7)
+        assert any(det._advance(hw) for hw in stream)
+
+    @settings(max_examples=30, deadline=None)
+    @given(debounce=st.integers(2, 6), pos=st.data())
+    def test_strict_detector_resets_on_any_glitch(self, debounce, pos):
+        det = DNNStartDetector(debounce=debounce, glitch_tolerance=0)
+        for _ in range(debounce):
+            det._advance(4)
+        stream = [3] * debounce
+        stream.insert(pos.draw(st.integers(1, debounce - 1)), 7)
+        assert not any(det._advance(hw) for hw in stream)
+        assert det.state is DetectorState.ARMED
+
+
+class TestInjectorProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**16), n=st.integers(1, 300))
+    def test_perturbation_is_seeded_and_bounded(self, seed, n):
+        trace = np.arange(n) % 64
+        a = ChaosInjector(chaos_preset("hostile", seed=seed)) \
+            .perturb_trace(trace, 0, 128)
+        b = ChaosInjector(chaos_preset("hostile", seed=seed)) \
+            .perturb_trace(trace, 0, 128)
+        assert a.shape == trace.shape
+        assert (a == b).all()
+        assert a.min() >= 0 and a.max() <= 128
+
+    def test_off_preset_is_identity(self):
+        trace = np.arange(500) % 64
+        out = ChaosInjector(chaos_preset("off", seed=CHAOS_SEED)) \
+            .perturb_trace(trace, 0, 128)
+        assert (out == trace).all()
+
+    def test_all_presets_are_valid(self):
+        for name in CHAOS_PRESETS:
+            chaos_preset(name, seed=CHAOS_SEED)
+
+
+# ---------------------------------------------------------------------------
+# The closed loop under fire
+# ---------------------------------------------------------------------------
+
+
+class TestClosedLoopUnderChaos:
+    def test_noisy_chaos_closed_loop_converges(self, probe_testbed):
+        """Sensor noise + lossy link: the remote attack still lands."""
+        tb = probe_testbed
+        tb.board.reset()
+        tb.scheduler.detector.glitch_tolerance = 2  # hysteresis on
+        injector = ChaosInjector(chaos_preset("noisy", seed=CHAOS_SEED))
+        link = UARTLink()
+        remote = RemoteAttacker(link, tb.scheduler)
+        try:
+            with injector.applied(scheduler=tb.scheduler, link=link):
+                for _ in range(10):  # enough traffic to exercise the ARQ
+                    assert remote.upload_scheme(AttackScheme(50, 9, 5))
+                tb.run(4000)
+                assert tb.scheduler.trigger_tick is not None
+                trace = remote.download_trace(max_samples=256)
+            assert trace.shape == (256,)
+            assert link.stats.faulted > 0
+            assert tb.scheduler.readout_filter is None  # restored
+        finally:
+            tb.scheduler.detector.glitch_tolerance = 0
+
+    def test_dropped_triggers_rearm_not_deadlock(self, probe_testbed):
+        """Swallowed trigger edges: a sustained droop re-fires later."""
+        tb = probe_testbed
+        tb.board.reset()
+        spec = chaos_preset("hostile", seed=CHAOS_SEED)
+        injector = ChaosInjector(spec)
+        tb.scheduler.load_scheme(AttackScheme(10, 5, 3))
+        with injector.on_detector(tb.scheduler.detector):
+            tb.run(4000)
+        if injector.stats["dropped_triggers"]:
+            # At least one edge was swallowed and the loop recovered (or
+            # ran out of trace; either way the FSM is in a legal state).
+            assert tb.scheduler.detector.state in (DetectorState.ARMED,
+                                                   DetectorState.TRIGGERED)
+        else:
+            assert tb.scheduler.trigger_tick is not None
+
+
+class TestCampaignUnderChaos:
+    @pytest.fixture(scope="class")
+    def victim(self):
+        from repro.zoo import get_pretrained
+
+        return get_pretrained()
+
+    def _attack(self, victim):
+        from repro.accel import AcceleratorEngine
+
+        engine = AcceleratorEngine(victim.quantized,
+                                   rng=np.random.default_rng(66))
+        return DeepStrike(engine, rng=np.random.default_rng(77))
+
+    def test_chaos_failures_are_isolated_and_resumable(self, victim,
+                                                       tmp_path):
+        spec = CampaignSpec(sweeps=(("pool1", (40,)),), blind_counts=(40,),
+                            eval_images=16, seed=5)
+        injector = ChaosInjector(
+            chaos_preset("hostile", seed=CHAOS_SEED))
+        ckpt = tmp_path / "ckpt.json"
+        result = run_campaign(self._attack(victim),
+                              victim.dataset.test_images,
+                              victim.dataset.test_labels, spec,
+                              checkpoint_path=ckpt,
+                              before_cell=injector.campaign_cell_hook)
+        done = sum(len(s.outcomes) for s in result.sweeps)
+        assert done + len(result.failures) == len(spec.cells())
+        assert all(f.error_type == "ChaosError" for f in result.failures)
+
+        # Chaos off, resume from the checkpoint: everything completes.
+        resumed = run_campaign(self._attack(victim),
+                               victim.dataset.test_images,
+                               victim.dataset.test_labels, spec,
+                               resume_from=ckpt)
+        assert resumed.failures == []
+        assert sum(len(s.outcomes)
+                   for s in resumed.sweeps) == len(spec.cells())

@@ -20,6 +20,25 @@ class TestParser:
         assert args.strikes == 4500
         assert args.cells == 5000
 
+    def test_campaign_reliability_flags(self):
+        args = build_parser().parse_args(
+            ["campaign", "--resume", "ck.json", "--chaos", "noisy",
+             "--sweep", "pool1=40,80", "--sweep", "conv1=500"])
+        assert args.resume == "ck.json"
+        assert args.chaos == "noisy"
+        assert args.sweep == ["pool1=40,80", "conv1=500"]
+
+    def test_campaign_unknown_chaos_preset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "--chaos", "tornado"])
+
+    def test_bad_sweep_syntax_rejected(self):
+        from repro.cli import _parse_sweep_args
+
+        for bad in ("pool1", "pool1=", "=40", "pool1=4x"):
+            with pytest.raises(SystemExit):
+                _parse_sweep_args([bad], images=16, seed=1)
+
 
 class TestCommands:
     def test_summary(self, capsys):
@@ -72,6 +91,65 @@ class TestCommands:
         assert main(["campaign", "--show", str(target)]) == 0
         shown = capsys.readouterr().out
         assert "clean accuracy" in shown
+
+    def test_campaign_resume_flag(self, tmp_path, capsys):
+        """Interrupt a campaign, then --resume finishes the study."""
+        import json
+        from unittest import mock
+
+        from repro.core import campaign as campaign_mod
+
+        ckpt = tmp_path / "ckpt.json"
+        target = tmp_path / "c.json"
+        base = ["campaign", "-o", str(target), "--images", "16",
+                "--sweep", "pool1=40,80"]
+
+        calls = []
+        real_hook = campaign_mod.run_campaign
+
+        def interrupting(*args, **kwargs):
+            hook = kwargs.get("before_cell")
+
+            def bomb(layer, count):
+                calls.append((layer, count))
+                if len(calls) == 2:
+                    raise KeyboardInterrupt
+                if hook:
+                    hook(layer, count)
+
+            kwargs["before_cell"] = bomb
+            return real_hook(*args, **kwargs)
+
+        with mock.patch("repro.core.campaign.run_campaign",
+                        side_effect=interrupting):
+            with pytest.raises(KeyboardInterrupt):
+                main(base + ["--checkpoint", str(ckpt)])
+        capsys.readouterr()
+        assert ckpt.exists()
+        payload = json.loads(ckpt.read_text())
+        assert payload["complete"] is False
+
+        assert main(base + ["--resume", str(ckpt)]) == 0
+        out = capsys.readouterr().out
+        assert "campaign written" in out
+        final = json.loads(target.read_text())
+        assert final["complete"] is True
+        assert sum(len(s["outcomes"]) for s in final["sweeps"]) == 2
+
+    def test_campaign_chaos_flag(self, tmp_path, capsys):
+        target = tmp_path / "c.json"
+        assert main(["campaign", "-o", str(target), "--images", "16",
+                     "--seed", "3", "--sweep", "pool1=40",
+                     "--chaos", "hostile"]) == 0
+        out = capsys.readouterr().out
+        assert "campaign written" in out
+        # Hostile chaos kills ~20% of cells; either way the run completes
+        # and any failure is the injected, typed kind.
+        import json
+
+        payload = json.loads(target.read_text())
+        for failure in payload["failures"]:
+            assert failure["error_type"] == "ChaosError"
 
     def test_report_to_file(self, tmp_path, capsys):
         target = tmp_path / "report.md"
