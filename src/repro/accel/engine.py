@@ -134,6 +134,20 @@ class AcceleratorEngine:
         per image and the schedule is deterministic); the fault *outcomes*
         are sampled independently per image.
         """
+        by_layer = self._index_strikes(struck)
+        codes = self.model.quantize_input(images)
+        for index, stage in enumerate(self.model.stages):
+            x_in = codes
+            codes = stage.forward_codes(codes)
+            entry = by_layer.get(getattr(stage, "name", ""))
+            if entry is None or entry.count == 0:
+                continue
+            codes = self._apply_stage_faults(stage, index, entry, x_in, codes)
+        return self._dequantize_scores(codes)
+
+    def _index_strikes(self, struck: Sequence[StruckCycles]
+                       ) -> Dict[str, StruckCycles]:
+        """Validate and index a strike sequence by target layer."""
         by_layer: Dict[str, StruckCycles] = {}
         for entry in struck:
             if entry.layer_name not in self._plan_by_name:
@@ -143,25 +157,38 @@ class AcceleratorEngine:
                     f"duplicate strike set for layer '{entry.layer_name}'"
                 )
             by_layer[entry.layer_name] = entry
+        return by_layer
 
-        codes = self.model.quantize_input(images)
-        for index, stage in enumerate(self.model.stages):
-            x_in = codes
-            codes = stage.forward_codes(codes)
-            entry = by_layer.get(getattr(stage, "name", ""))
-            if entry is None or entry.count == 0:
-                continue
-            plan = self._plan_by_name[entry.layer_name]
-            if plan.stage_index != index:
-                raise SimulationError("plan/stage index mismatch")
-            if plan.kind == "conv":
-                codes = self._fault_conv(stage, plan, entry, x_in, codes)
-            elif plan.kind == "dense":
-                codes = self._fault_dense(stage, plan, entry, x_in, codes)
-            elif plan.kind == "pool":
-                codes = self._fault_pool(plan, entry, codes)
+    def _apply_stage_faults(self, stage, index: int, entry: StruckCycles,
+                            x_in: np.ndarray,
+                            codes: np.ndarray) -> np.ndarray:
+        """Inject one layer's strikes into its freshly computed codes.
+
+        ``x_in`` is the layer's input (its rollback checkpoint); ``codes``
+        is ``stage.forward_codes(x_in)``, possibly mutated in place.
+        """
+        plan = self._plan_by_name[entry.layer_name]
+        if plan.stage_index != index:
+            raise SimulationError("plan/stage index mismatch")
+        if plan.kind == "conv":
+            return self._fault_conv(stage, plan, entry, x_in, codes)
+        if plan.kind == "dense":
+            return self._fault_dense(stage, plan, entry, x_in, codes)
+        if plan.kind == "pool":
+            return self._fault_pool(plan, entry, codes)
+        return codes
+
+    def _dequantize_scores(self, codes: np.ndarray) -> np.ndarray:
+        """Final accumulator codes -> real-valued logits."""
         scale = 2.0 ** (-self.model.product_frac_bits)
         return np.asarray(codes, dtype=np.float64) * scale
+
+    def _observe_fault_types(self, types: np.ndarray,
+                             voltages: np.ndarray) -> None:
+        """Hook: one image's per-exposed-op fault outcomes, right after
+        they are decided.  The base engine ignores them; the hardened
+        engine's razor shadow latches watch this exact stream."""
+        return None
 
     def predict_under_attack(self, images: np.ndarray,
                              struck: Sequence[StruckCycles]) -> np.ndarray:
@@ -222,6 +249,7 @@ class AcceleratorEngine:
             forced = FaultType.DUPLICATION if force_class == "duplication" \
                 else FaultType.RANDOM
             types[types != FaultType.NONE] = forced
+        self._observe_fault_types(types, volts)
         delta = np.zeros(p_cur.shape[0], dtype=np.int64)
         dup = types == FaultType.DUPLICATION
         delta[dup] = p_prev[dup] - p_cur[dup]
@@ -345,6 +373,7 @@ class AcceleratorEngine:
 
         for n in range(n_images):
             types = self._decide(self.pool_faults, volts)
+            self._observe_fault_types(types, volts)
             faulted = np.nonzero(types != FaultType.NONE)[0]
             if faulted.size == 0:
                 continue

@@ -5,15 +5,21 @@ from .reports import fixed_table, markdown_table
 from .experiments import EXPERIMENTS, Experiment, experiment
 from .ascii_plot import bar_chart, line_chart, sparkline
 from .confusion import ClassFlow, attack_class_flow, confusion_matrix, per_class_recall
+from .armsrace import (arms_race_markdown, arms_race_rows, arms_race_table,
+                       dose_response_series)
 
 __all__ = [
     "EXPERIMENTS",
     "Experiment",
     "ClassFlow",
     "accuracy_drop_series",
+    "arms_race_markdown",
+    "arms_race_rows",
+    "arms_race_table",
     "attack_class_flow",
     "bar_chart",
     "confusion_matrix",
+    "dose_response_series",
     "experiment",
     "fixed_table",
     "line_chart",

@@ -9,6 +9,7 @@ Subcommands::
     python -m repro characterize    # the Fig 6(b) DSP fault sweep
     python -m repro scan            # DRC + bitstream scan of attack RTL
     python -m repro report          # regenerate headline results -> markdown
+    python -m repro defend          # detection study + arms race -> JSON
 """
 
 from __future__ import annotations
@@ -91,6 +92,28 @@ def build_parser() -> argparse.ArgumentParser:
                           metavar="LAYER=N1,N2,...",
                           help="override the default study (repeatable; "
                                "disables the blind baseline)")
+
+    defend = sub.add_parser("defend",
+                            help="droop-monitor detection study + the "
+                                 "attack-vs-defense arms race")
+    defend.add_argument("-o", "--output", default="defense.json",
+                        help="write the JSON report here")
+    defend.add_argument("--images", type=int, default=64,
+                        help="evaluation subset size")
+    defend.add_argument("--seed", type=int, default=1)
+    defend.add_argument("--layer", default="conv2",
+                        help="arms-race target layer")
+    defend.add_argument("--cells", type=int, nargs="+",
+                        default=[3000, 5500, 8000],
+                        help="striker bank sizes to sweep")
+    defend.add_argument("--strikes", type=int, default=4500,
+                        help="strikes per inference")
+    defend.add_argument("--detection-trials", type=int, default=3,
+                        help="attacked traces per detection cell")
+    defend.add_argument("--skip-detection", action="store_true",
+                        help="run only the arms race")
+    defend.add_argument("--tmr", action="store_true",
+                        help="add a TMR-final-FC defense arm")
     return parser
 
 
@@ -343,6 +366,62 @@ def _cmd_campaign(args) -> int:
     return 0
 
 
+def _cmd_defend(args) -> int:
+    import dataclasses
+    import json
+
+    from .analysis.armsrace import arms_race_table
+    from .config import RecoveryConfig
+    from .core.campaign import _atomic_write_text
+    from .defense import (ArmsRaceStudy, DetectionStudy, DroopMonitor,
+                          default_defenses)
+
+    victim, engine, _, sensor = _sensor_and_attack(args.seed,
+                                                   max(args.cells))
+    images = victim.dataset.test_images[:args.images]
+    labels = victim.dataset.test_labels[:args.images]
+
+    detection_rows = []
+    if not args.skip_detection:
+        study = DetectionStudy(engine, sensor, seed=args.seed)
+        n_strikes = min(args.strikes, study.target.cycles)
+        results = study.sweep(DroopMonitor(),
+                              [(c, n_strikes) for c in args.cells],
+                              trials=args.detection_trials)
+        print("== droop-monitor detection ==")
+        print(fixed_table(
+            ["cells", "strikes", "detect", "latency_us", "false_alarms"],
+            [[r.bank_cells, r.n_strikes, r.detection_rate,
+              ("-" if r.mean_latency_s is None
+               else round(r.mean_latency_s * 1e6, 3)),
+              r.false_alarm_rate] for r in results],
+        ))
+        print()
+        detection_rows = [dataclasses.asdict(r) for r in results]
+
+    defenses = list(default_defenses())
+    if args.tmr:
+        defenses.append(("tmr", RecoveryConfig(
+            tmr_final_fc=True, exhaustion_policy="accept")))
+    race = ArmsRaceStudy(victim.quantized, images, labels,
+                         target_layer=args.layer, seed=args.seed)
+    cells = race.sweep([(c, args.strikes) for c in args.cells], defenses)
+    print("== arms race ==")
+    print(arms_race_table(cells))
+
+    payload = {
+        "format_version": 1,
+        "seed": args.seed,
+        "target_layer": args.layer,
+        "n_images": int(images.shape[0]),
+        "detection": detection_rows,
+        "arms_race": [dataclasses.asdict(c) for c in cells],
+    }
+    _atomic_write_text(args.output, json.dumps(payload, indent=2) + "\n")
+    print(f"defense report written to {args.output}")
+    return 0
+
+
 _COMMANDS = {
     "train": _cmd_train,
     "summary": _cmd_summary,
@@ -352,6 +431,7 @@ _COMMANDS = {
     "scan": _cmd_scan,
     "report": _cmd_report,
     "campaign": _cmd_campaign,
+    "defend": _cmd_defend,
 }
 
 

@@ -31,6 +31,7 @@ __all__ = [
     "StrikerConfig",
     "AcceleratorConfig",
     "ReliabilityConfig",
+    "RecoveryConfig",
     "SimulationConfig",
     "default_config",
 ]
@@ -312,6 +313,65 @@ class ReliabilityConfig:
 
 
 @dataclass(frozen=True)
+class RecoveryConfig:
+    """Victim-side detect-and-recover runtime (docs/defense.md).
+
+    Models the three layers of the hardened victim: a razor-style shadow
+    latch on every DSP capture edge, a per-layer checkpoint/rollback
+    replay path running at a divided clock (droop-immune but slower),
+    and algorithmic containment (activation-range clamping, optional TMR
+    on the final FC layer) for whatever slips through.
+    """
+
+    #: Shadow-latch timing-error detection on DSP capture edges.
+    razor_enabled: bool = True
+    #: P(the shadow latch flags a shallow, duplication-class miss).  The
+    #: late edge lands inside the shadow sampling window, so coverage is
+    #: high.
+    razor_dup_coverage: float = 0.95
+    #: P(the shadow latch flags a deep, random-class miss).  Deep
+    #: violations can corrupt the shadow sample too, so coverage is
+    #: lower — exactly the faults containment has to absorb.
+    razor_random_coverage: float = 0.65
+    #: Rollback replays per layer per inference before giving up.
+    max_replays_per_layer: int = 3
+    #: Clock divisor of the replay path (2 = half rate; 1 = retry at
+    #: speed, for ablations).
+    replay_clock_divisor: int = 2
+    #: Clamp compute-layer outputs to calibrated clean ranges.
+    clamp_activations: bool = True
+    #: Fractional widening of each calibrated range, per side.
+    clamp_margin: float = 0.05
+    #: Triple-execute the final FC layer and majority-vote the scores.
+    tmr_final_fc: bool = False
+    #: Images consumed from the calibration set when learning ranges.
+    calibration_images: int = 32
+    #: What to do when the replay budget runs out: "raise" a typed
+    #: RecoveryExhaustedError (fail-stop) or "accept" the last replay's
+    #: still-flagged result (fail-degraded, counted in stats).
+    exhaustion_policy: str = "raise"
+
+    def validate(self) -> None:
+        for name in ("razor_dup_coverage", "razor_random_coverage"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ConfigError(f"{name}={p} outside [0, 1]")
+        if self.max_replays_per_layer < 0:
+            raise ConfigError("max_replays_per_layer must be >= 0")
+        if self.replay_clock_divisor < 1:
+            raise ConfigError("replay_clock_divisor must be >= 1")
+        if self.clamp_margin < 0:
+            raise ConfigError("clamp_margin must be >= 0")
+        if self.calibration_images < 1:
+            raise ConfigError("calibration_images must be >= 1")
+        if self.exhaustion_policy not in ("raise", "accept"):
+            raise ConfigError(
+                "exhaustion_policy must be 'raise' or 'accept', "
+                f"got {self.exhaustion_policy!r}"
+            )
+
+
+@dataclass(frozen=True)
 class SimulationConfig:
     """Bundle of all subsystem configurations plus the global RNG seed."""
 
@@ -323,6 +383,7 @@ class SimulationConfig:
     striker: StrikerConfig = field(default_factory=StrikerConfig)
     accel: AcceleratorConfig = field(default_factory=AcceleratorConfig)
     reliability: ReliabilityConfig = field(default_factory=ReliabilityConfig)
+    recovery: RecoveryConfig = field(default_factory=RecoveryConfig)
     seed: int = 20210705
 
     def validate(self) -> "SimulationConfig":
@@ -335,6 +396,7 @@ class SimulationConfig:
         self.striker.validate()
         self.accel.validate()
         self.reliability.validate()
+        self.recovery.validate()
         if self.pdn.v_nominal != self.delay.v_nominal:
             raise ConfigError(
                 "PDN and delay model disagree on nominal voltage: "

@@ -288,10 +288,18 @@ class DeepStrike:
     # -- step 3: execution ----------------------------------------------------------
 
     def execute(self, images: np.ndarray, labels: np.ndarray,
-                plan: AttackPlan, batch_size: int = 64) -> AttackOutcome:
-        """Run attacked inference over a test set and measure accuracy."""
-        clean = (self.engine.predict_clean(images) == labels).mean()
-        attacked = self.engine.accuracy_under_attack(
+                plan: AttackPlan, batch_size: int = 64,
+                engine: Optional[AcceleratorEngine] = None) -> AttackOutcome:
+        """Run attacked inference over a test set and measure accuracy.
+
+        ``engine`` executes the plan against a different victim engine —
+        e.g. a :class:`~repro.defense.HardenedAcceleratorEngine` in the
+        arms-race study — while the plan itself stays priced against the
+        planning engine's schedule (the two must share a model).
+        """
+        victim = engine if engine is not None else self.engine
+        clean = (victim.predict_clean(images) == labels).mean()
+        attacked = victim.accuracy_under_attack(
             images, labels, plan.struck, batch_size=batch_size
         )
         return AttackOutcome(

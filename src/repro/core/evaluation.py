@@ -42,12 +42,21 @@ class LayerSweepResult:
 
     @property
     def max_drop(self) -> float:
+        """Worst accuracy loss in the series (0.0 for an empty sweep —
+        a resumed campaign can hold targets with no completed cells)."""
         return max((o.accuracy_drop for o in self.outcomes), default=0.0)
 
 
 def sweep_to_rows(results: Sequence[LayerSweepResult]) -> str:
     """Fixed-width table of accuracy versus strikes, one row per count,
-    one column per target — the series Fig 5(b) plots."""
+    one column per target — the series Fig 5(b) plots.
+
+    Degenerate sweeps render rather than crash: no targets at all gives
+    a placeholder line, and a target with no completed cells (all its
+    strike counts failed or are still pending) gets an empty column.
+    """
+    if not results:
+        return "(no sweep results)"
     counts = sorted({c for r in results for c in r.strike_counts})
     header = "strikes  " + "  ".join(f"{r.target_layer:>10}" for r in results)
     lines = [header]

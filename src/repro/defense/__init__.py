@@ -15,18 +15,36 @@ scanning; oscillators-without-combinational-loops as a known threat):
   that close through transparent latches — and for the structural
   signature of power-waster banks (huge fanout enable nets driving
   latch gates) — catches DeepStrike's striker before it ever runs.
+* **Detect-and-recover runtime** (:mod:`~repro.defense.hardened_engine`
+  and :mod:`~repro.defense.recovery`): razor-style shadow latches on
+  the DSP capture edges, droop-triggered checkpoint/rollback replay at
+  a divided clock, calibrated activation clamping, and optional TMR on
+  the final classifier.  The arms race between this runtime and the
+  striker is quantified by :class:`~repro.defense.ArmsRaceStudy`.
 """
 
 from .droop_monitor import DroopMonitor, MonitorVerdict
 from .bitstream_scan import BitstreamScanner, ScanFinding, ScanReport
-from .evaluation import DetectionStudy, DetectionResult
+from .evaluation import (ArmsRaceCell, ArmsRaceStudy, DetectionStudy,
+                         DetectionResult, default_defenses)
+from .hardened_engine import HardenedAcceleratorEngine
+from .recovery import (ActivationClamp, RazorDetector, RecoveryStats,
+                       StageBounds)
 
 __all__ = [
+    "ActivationClamp",
+    "ArmsRaceCell",
+    "ArmsRaceStudy",
     "BitstreamScanner",
     "DetectionResult",
     "DetectionStudy",
     "DroopMonitor",
+    "HardenedAcceleratorEngine",
     "MonitorVerdict",
+    "RazorDetector",
+    "RecoveryStats",
     "ScanFinding",
     "ScanReport",
+    "StageBounds",
+    "default_defenses",
 ]

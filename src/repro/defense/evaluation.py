@@ -1,28 +1,41 @@
-"""Detection studies: monitor performance across attack intensities.
+"""Defense studies: monitor performance and the attack/defense arms race.
 
-Quantifies the defender's trade-off: detection rate and latency versus
-false alarms on clean traffic, as the attacker dials intensity (striker
-cells, strike counts) up or down.
+Two experiments share this module:
+
+* :class:`DetectionStudy` quantifies the droop monitor's trade-off —
+  detection rate and latency versus false alarms on clean traffic — as
+  the attacker dials intensity (striker cells, strike counts) up or
+  down.
+* :class:`ArmsRaceStudy` pits the striker against the detect-and-recover
+  runtime (:class:`~repro.defense.HardenedAcceleratorEngine`), sweeping
+  striker intensity × defense configuration and reporting
+  accuracy-under-attack, recovery latency overhead, and the residual
+  fault rate that slips past the razor latches.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+import hashlib
+from dataclasses import dataclass, replace as dc_replace
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..accel.activity import STALL_CURRENT, inference_current_trace
 from ..accel.engine import AcceleratorEngine
+from ..config import RecoveryConfig, SimulationConfig, default_config
 from ..errors import ConfigError
 from ..fpga.pdn import PowerDistributionNetwork
+from ..nn.quantize import QuantizedModel
 from ..sensors.delay import GateDelayModel
 from ..sensors.tdc import TDCSensor
 from ..striker.bank import effective_bank_current
 from ..striker.cell import StrikerCell
 from .droop_monitor import DroopMonitor
+from .hardened_engine import HardenedAcceleratorEngine
 
-__all__ = ["DetectionResult", "DetectionStudy"]
+__all__ = ["ArmsRaceCell", "ArmsRaceStudy", "DetectionResult",
+           "DetectionStudy", "default_defenses"]
 
 
 @dataclass(frozen=True)
@@ -139,3 +152,143 @@ class DetectionStudy:
         """Evaluate across (bank_cells, n_strikes) intensities."""
         return [self.evaluate(monitor, cells, strikes, trials=trials)
                 for cells, strikes in intensities]
+
+
+# -- the arms race ----------------------------------------------------------
+
+
+def default_defenses() -> Tuple[Tuple[str, Optional[RecoveryConfig]], ...]:
+    """The standard arms-race defense axis: undefended baseline versus
+    the full detect-and-recover runtime.
+
+    The recovery config uses ``exhaustion_policy="accept"`` so a sweep
+    cell overwhelmed by the attack reports degraded accuracy instead of
+    aborting the whole study (the fail-stop policy is for deployments,
+    not for measurement).
+    """
+    return (
+        ("none", None),
+        ("recover", RecoveryConfig(exhaustion_policy="accept")),
+    )
+
+
+@dataclass(frozen=True)
+class ArmsRaceCell:
+    """One (striker intensity, defense) cell of the arms-race grid."""
+
+    bank_cells: int
+    n_strikes: int
+    defense: str                 # label, e.g. "none" / "recover" / "tmr"
+    clean_accuracy: float
+    attacked_accuracy: float
+    #: Fraction of images whose attacked prediction differs from the
+    #: same engine's clean prediction — the faults that *survived* the
+    #: defense (undefended: the raw fault-induced misprediction rate).
+    residual_mismatch_rate: float
+    replay_overhead: float       # extra cycles / baseline cycles
+    razor_flags: int
+    replays: int
+    exhausted: int
+    strikes_landed: int
+
+    @property
+    def accuracy_drop(self) -> float:
+        return self.clean_accuracy - self.attacked_accuracy
+
+
+class ArmsRaceStudy:
+    """Striker intensity × defense configuration, head to head.
+
+    Each cell plans the same characterization-mode strike train (the
+    attacker does not know the defense is present) and executes it
+    against either the undefended :class:`~repro.accel.AcceleratorEngine`
+    or a :class:`HardenedAcceleratorEngine` built from a
+    :class:`~repro.config.RecoveryConfig`.  Per-cell RNG seeds derive
+    from the study seed and the cell coordinates, so any cell can be
+    reproduced in isolation.
+    """
+
+    def __init__(self, model: QuantizedModel, images: np.ndarray,
+                 labels: np.ndarray,
+                 config: Optional[SimulationConfig] = None,
+                 target_layer: str = "conv2",
+                 input_shape: Tuple[int, ...] = (1, 28, 28),
+                 seed: int = 0) -> None:
+        images = np.asarray(images)
+        labels = np.asarray(labels)
+        if images.shape[0] < 1 or images.shape[0] != labels.shape[0]:
+            raise ConfigError("need matching, non-empty images and labels")
+        self.model = model
+        self.images = images
+        self.labels = labels
+        self.config = (config or default_config()).validate()
+        self.target_layer = target_layer
+        self.input_shape = input_shape
+        self.seed = seed
+
+    def _cell_seed(self, bank_cells: int, n_strikes: int,
+                   defense: str) -> int:
+        digest = hashlib.blake2s(
+            f"armsrace:{self.seed}:{bank_cells}:{n_strikes}:{defense}"
+            .encode(), digest_size=8,
+        ).digest()
+        return int.from_bytes(digest, "little")
+
+    def _build_engine(self, recovery: Optional[RecoveryConfig],
+                      rng: np.random.Generator) -> AcceleratorEngine:
+        if recovery is None:
+            return AcceleratorEngine(self.model, self.config, rng,
+                                     self.input_shape)
+        cfg = dc_replace(self.config, recovery=recovery)
+        engine = HardenedAcceleratorEngine(self.model, cfg, rng,
+                                           self.input_shape)
+        if recovery.clamp_activations:
+            engine.calibrate(self.images)
+        return engine
+
+    def run_cell(self, bank_cells: int, n_strikes: int,
+                 recovery: Optional[RecoveryConfig] = None,
+                 label: Optional[str] = None) -> ArmsRaceCell:
+        """Execute one grid cell; ``recovery=None`` is the undefended
+        baseline."""
+        from ..core.attack import DeepStrike
+        defense = label if label is not None else (
+            "none" if recovery is None else "recover"
+        )
+        rng = np.random.default_rng(
+            self._cell_seed(bank_cells, n_strikes, defense)
+        )
+        engine = self._build_engine(recovery, rng)
+        striker = DeepStrike(engine, bank_cells, rng)
+        plan = striker.plan_for_layer(self.target_layer, n_strikes)
+
+        clean_preds = engine.predict_clean(self.images)
+        att_preds = engine.predict_under_attack(self.images, plan.struck)
+        stats = getattr(engine, "stats", None)
+        return ArmsRaceCell(
+            bank_cells=bank_cells,
+            n_strikes=n_strikes,
+            defense=defense,
+            clean_accuracy=float((clean_preds == self.labels).mean()),
+            attacked_accuracy=float((att_preds == self.labels).mean()),
+            residual_mismatch_rate=float((att_preds != clean_preds).mean()),
+            replay_overhead=(stats.overhead_fraction if stats else 0.0),
+            razor_flags=(stats.razor_flags if stats else 0),
+            replays=(stats.replays if stats else 0),
+            exhausted=(stats.exhausted if stats else 0),
+            strikes_landed=plan.strikes_landed,
+        )
+
+    def sweep(self, intensities: Sequence[Tuple[int, int]],
+              defenses: Optional[Sequence[
+                  Tuple[str, Optional[RecoveryConfig]]]] = None,
+              ) -> List[ArmsRaceCell]:
+        """Full grid: every (bank_cells, n_strikes) × every defense."""
+        axis = tuple(defenses) if defenses is not None else \
+            default_defenses()
+        cells: List[ArmsRaceCell] = []
+        for bank_cells, n_strikes in intensities:
+            for label, recovery in axis:
+                cells.append(self.run_cell(bank_cells, n_strikes,
+                                           recovery, label))
+        return cells

@@ -1,0 +1,169 @@
+"""Detect-and-contain building blocks of the hardened victim runtime.
+
+Three pieces, composed by :class:`~repro.defense.HardenedAcceleratorEngine`
+(see docs/defense.md):
+
+* :class:`RazorDetector` — razor-style shadow latches on the DSP capture
+  edges.  The main latch captures on the DDR edge; a shadow latch
+  captures a configured delay later and a comparator flags mismatches.
+  A *shallow* timing miss (the duplication class of
+  :class:`~repro.dsp.TimingFaultModel`) settles inside the shadow
+  window, so the comparator catches it with high probability; a *deep*
+  miss (the random class) can corrupt the shadow sample too, so
+  coverage is lower.  Both coverages live in
+  :class:`~repro.config.RecoveryConfig`.
+* :class:`ActivationClamp` — per-layer output ranges learned from clean
+  calibration runs.  Undetected random faults inject garbage whose
+  magnitude dwarfs anything the layer legitimately produces; clamping
+  to the calibrated envelope bounds the damage a survivor can do.
+* :class:`RecoveryStats` — the runtime's accounting: razor flags,
+  rollback replays and their cycle cost, clamped values, TMR votes, and
+  budget exhaustions, plus the headline ``overhead_fraction``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..config import RecoveryConfig
+from ..dsp.faults import FaultType
+from ..errors import ConfigError
+from ..nn.quantize import QuantizedModel
+
+__all__ = ["RazorDetector", "ActivationClamp", "StageBounds",
+           "RecoveryStats"]
+
+
+class RazorDetector:
+    """Shadow-latch comparison over one image's exposed-op fault stream.
+
+    Coverage is sampled per faulted op from the class-conditional
+    probabilities in :class:`~repro.config.RecoveryConfig` — the razor
+    analogue of the violation-depth split the fault model itself uses
+    (shallow misses are caught, deep ones may escape).
+    """
+
+    def __init__(self, config: RecoveryConfig,
+                 rng: np.random.Generator) -> None:
+        config.validate()
+        self.config = config
+        self.rng = rng
+        self.stats = {"dup_seen": 0, "dup_flagged": 0,
+                      "random_seen": 0, "random_flagged": 0}
+
+    def observe(self, types: np.ndarray) -> bool:
+        """True if the shadow latches flag any op in this stream.
+
+        Ops that did not fault excite no main/shadow mismatch and never
+        draw randomness, so clean traffic leaves the RNG stream (and the
+        runtime) untouched.
+        """
+        types = np.asarray(types)
+        dup = types == FaultType.DUPLICATION
+        rnd = types == FaultType.RANDOM
+        n_dup = int(np.count_nonzero(dup))
+        n_rnd = int(np.count_nonzero(rnd))
+        if n_dup + n_rnd == 0:
+            return False
+        self.stats["dup_seen"] += n_dup
+        self.stats["random_seen"] += n_rnd
+        draws = self.rng.random(types.shape)
+        dup_hit = dup & (draws < self.config.razor_dup_coverage)
+        rnd_hit = rnd & (draws < self.config.razor_random_coverage)
+        self.stats["dup_flagged"] += int(np.count_nonzero(dup_hit))
+        self.stats["random_flagged"] += int(np.count_nonzero(rnd_hit))
+        return bool(np.any(dup_hit) or np.any(rnd_hit))
+
+
+@dataclass(frozen=True)
+class StageBounds:
+    """Calibrated clean output range of one compute stage (code units)."""
+
+    lo: int
+    hi: int
+
+    @property
+    def span(self) -> int:
+        return self.hi - self.lo
+
+
+class ActivationClamp:
+    """Per-layer range containment learned from clean calibration runs."""
+
+    def __init__(self, bounds: Dict[str, StageBounds],
+                 margin: float = 0.0) -> None:
+        if not bounds:
+            raise ConfigError("activation clamp needs at least one layer")
+        if margin < 0:
+            raise ConfigError("clamp margin must be >= 0")
+        self.bounds = dict(bounds)
+        self.margin = margin
+
+    @classmethod
+    def calibrate(cls, model: QuantizedModel, images: np.ndarray,
+                  margin: float = 0.0) -> "ActivationClamp":
+        """Run clean inference and record every compute stage's output
+        range (conv/dense accumulators at product scale, pool outputs at
+        activation scale)."""
+        images = np.asarray(images)
+        if images.ndim < 3 or images.shape[0] < 1:
+            raise ConfigError("calibration needs a non-empty image batch")
+        codes = model.quantize_input(images)
+        bounds: Dict[str, StageBounds] = {}
+        for stage in model.stages:
+            codes = stage.forward_codes(codes)
+            if getattr(stage, "kind", "") in ("conv", "dense", "pool"):
+                bounds[stage.name] = StageBounds(int(codes.min()),
+                                                int(codes.max()))
+        return cls(bounds, margin)
+
+    def limits(self, layer_name: str) -> Tuple[int, int]:
+        """Effective (lo, hi) clamp limits for one layer."""
+        try:
+            b = self.bounds[layer_name]
+        except KeyError:
+            raise ConfigError(
+                f"no calibrated bounds for layer '{layer_name}'"
+            ) from None
+        pad = int(np.ceil(self.margin * max(b.span, 1)))
+        return b.lo - pad, b.hi + pad
+
+    def apply(self, layer_name: str,
+              codes: np.ndarray) -> Tuple[np.ndarray, int]:
+        """Clamp one layer's output codes; returns (codes, #clamped)."""
+        lo, hi = self.limits(layer_name)
+        clipped = np.clip(codes, lo, hi)
+        return clipped, int(np.count_nonzero(clipped != codes))
+
+
+@dataclass
+class RecoveryStats:
+    """Cumulative accounting of one hardened engine's recovery work."""
+
+    images: int = 0
+    base_cycles: int = 0       # schedule cycles of the inferences served
+    razor_flags: int = 0       # images flagged by the shadow latches
+    forced_replays: int = 0    # replays forced by droop-monitor alarms
+    replays: int = 0           # (layer, image) rollback replays executed
+    replay_cycles: int = 0     # victim cycles spent inside replays
+    tmr_votes: int = 0         # images voted through the TMR final FC
+    tmr_cycles: int = 0        # victim cycles spent on redundant FC runs
+    clamped_values: int = 0    # accumulator values pulled into range
+    exhausted: int = 0         # (layer, image) replay budgets exhausted
+    extra: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Recovery latency overhead: extra cycles / baseline cycles."""
+        if self.base_cycles <= 0:
+            return 0.0
+        return (self.replay_cycles + self.tmr_cycles) / self.base_cycles
+
+    def as_dict(self) -> Dict[str, float]:
+        out = asdict(self)
+        out.pop("extra")
+        out["overhead_fraction"] = self.overhead_fraction
+        return out

@@ -72,3 +72,20 @@ class LinkDeadError(ReproError):
 
 class ChaosError(ReproError):
     """A failure injected by the chaos harness (not a real library bug)."""
+
+
+class RecoveryExhaustedError(ReproError):
+    """The hardened victim's replay budget ran out on a layer that keeps
+    flagging timing errors.
+
+    Raised by :class:`~repro.defense.HardenedAcceleratorEngine` when a
+    layer's razor flags survive ``max_replays_per_layer`` rollback
+    replays — the typed signal that the attack is overwhelming the
+    recovery path (fail-stop, not silent corruption).
+    """
+
+    def __init__(self, message: str, layer: str = "",
+                 attempts: int = 0) -> None:
+        self.layer = layer
+        self.attempts = attempts
+        super().__init__(message)

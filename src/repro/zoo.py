@@ -12,9 +12,11 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import tempfile
+import zipfile
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -113,6 +115,52 @@ def _train(dataset: SyntheticMNIST, model_name: str) -> Sequential:
     return model
 
 
+def _load_cached(path: Path, model_name: str
+                 ) -> Optional[Tuple[Sequential, SyntheticMNIST]]:
+    """Load a cached victim, or None if the archive is corrupt.
+
+    A half-written or truncated cache file (interrupted save, disk
+    trouble) is a cache *miss*, not a crash — the caller deletes it and
+    retrains.  The model is built fresh here so a failure mid-load never
+    leaks a partially initialised state dict to the caller.
+    """
+    model = MODEL_BUILDERS[model_name](
+        rng=np.random.default_rng(RECIPE["init_seed"])
+    )
+    try:
+        with np.load(path) as archive:
+            state = {k[len("param/"):]: archive[k] for k in archive.files
+                     if k.startswith("param/")}
+            model.load_state_dict(state)
+            dataset = SyntheticMNIST(
+                train_images=archive["data/train_images"],
+                train_labels=archive["data/train_labels"],
+                test_images=archive["data/test_images"],
+                test_labels=archive["data/test_labels"],
+            )
+    except (OSError, ValueError, KeyError, zipfile.BadZipFile, ReproError):
+        return None
+    return model, dataset
+
+
+def _atomic_savez(path: Path, payload: dict) -> None:
+    """``np.savez_compressed`` via a same-directory temp file +
+    ``os.replace`` so an interrupt can never leave a truncated archive
+    (which a later session would fail to load) at ``path``."""
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name + ".",
+                               suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.savez_compressed(handle, **payload)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
 def get_pretrained(cache_dir: Optional[Path] = None,
                    force_retrain: bool = False,
                    model_name: str = "lenet5") -> PretrainedVictim:
@@ -125,21 +173,14 @@ def get_pretrained(cache_dir: Optional[Path] = None,
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / f"{model_name}_victim_{_recipe_key(model_name)}.npz"
 
-    dataset: Optional[SyntheticMNIST] = None
-    model = MODEL_BUILDERS[model_name](
-        rng=np.random.default_rng(RECIPE["init_seed"])
-    )
+    loaded = None
     if path.exists() and not force_retrain:
-        archive = np.load(path)
-        state = {k[len("param/"):]: archive[k] for k in archive.files
-                 if k.startswith("param/")}
-        model.load_state_dict(state)
-        dataset = SyntheticMNIST(
-            train_images=archive["data/train_images"],
-            train_labels=archive["data/train_labels"],
-            test_images=archive["data/test_images"],
-            test_labels=archive["data/test_labels"],
-        )
+        loaded = _load_cached(path, model_name)
+        if loaded is None:
+            path.unlink(missing_ok=True)  # corrupt cache: treat as a miss
+
+    if loaded is not None:
+        model, dataset = loaded
     else:
         dataset = SyntheticMNIST.generate(
             n_train=RECIPE["n_train"],
@@ -156,7 +197,7 @@ def get_pretrained(cache_dir: Optional[Path] = None,
                 "data/test_labels": dataset.test_labels,
             }
         )
-        np.savez_compressed(path, **payload)
+        _atomic_savez(path, payload)
 
     quantized = quantize_model(model)
     float_acc = evaluate_accuracy(model, dataset.test_images, dataset.test_labels)

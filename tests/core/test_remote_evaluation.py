@@ -120,3 +120,23 @@ class TestEvaluationRecords:
         table = sweep_to_rows([a, b])
         assert "conv2" in table and "blind" in table
         assert "100" in table
+
+    def test_empty_sweep_has_zero_max_drop(self):
+        assert LayerSweepResult("conv2").max_drop == 0.0
+
+    def test_no_results_render_placeholder(self):
+        assert sweep_to_rows([]) == "(no sweep results)"
+
+    def test_sweep_with_no_outcomes_renders_empty_column(self):
+        # A resumed campaign can carry a target whose cells all failed.
+        full = LayerSweepResult("conv2",
+                                [self._outcome("conv2", 100, 0.95)])
+        empty = LayerSweepResult("fc1")
+        table = sweep_to_rows([full, empty])
+        assert "conv2" in table and "fc1" in table
+        assert "0.9500" in table
+
+    def test_all_sweeps_empty_renders_header_only(self):
+        table = sweep_to_rows([LayerSweepResult("conv2")])
+        assert table.splitlines() == [table]  # header line, no rows
+        assert "conv2" in table

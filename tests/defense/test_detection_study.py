@@ -1,0 +1,76 @@
+"""Tests for DetectionStudy: monitor scoring on seeded traces."""
+
+import numpy as np
+import pytest
+
+from repro.defense import DetectionStudy, DroopMonitor
+from repro.errors import ConfigError
+from repro.sensors import GateDelayModel, TDCSensor
+from repro.sensors.calibration import theta_for_target
+
+
+@pytest.fixture(scope="module")
+def sensor(config):
+    delay_model = GateDelayModel(config.delay)
+    theta = theta_for_target(config.tdc, delay_model, voltage=0.9867)
+    return TDCSensor(config.tdc, delay_model, theta,
+                     rng=np.random.default_rng(55))
+
+
+@pytest.fixture(scope="module")
+def study(probe_engine, sensor):
+    return DetectionStudy(probe_engine, sensor, seed=7)
+
+
+class TestDetectionStudy:
+    def test_targets_busiest_layer(self, study, probe_engine):
+        lanes = max(w.plan.lanes for w in probe_engine.schedule.windows())
+        assert study.target.plan.lanes == lanes
+
+    def test_strong_attack_detected_without_false_alarms(self, study):
+        result = study.evaluate(DroopMonitor(), bank_cells=8000,
+                                n_strikes=min(200, study.target.cycles),
+                                trials=2, clean_trials=2)
+        assert result.detection_rate == 1.0
+        assert result.false_alarm_rate == 0.0
+        assert result.mean_latency_s is not None
+        assert result.mean_latency_s >= 0.0
+
+    def test_no_striker_cells_never_detected(self, study):
+        result = study.evaluate(DroopMonitor(), bank_cells=0,
+                                n_strikes=min(200, study.target.cycles),
+                                trials=2, clean_trials=2)
+        assert result.detection_rate == 0.0
+
+    def test_detection_rate_monotone_in_bank_size(self, study):
+        strikes = min(200, study.target.cycles)
+        weak, strong = study.sweep(DroopMonitor(),
+                                   [(0, strikes), (8000, strikes)],
+                                   trials=2)
+        assert weak.detection_rate <= strong.detection_rate
+
+    def test_bad_strike_count_rejected(self, study):
+        with pytest.raises(ConfigError):
+            study.attacked_trace(8000, 0)
+        with pytest.raises(ConfigError):
+            study.attacked_trace(8000, study.target.cycles + 1)
+
+    def test_traces_are_seed_deterministic(self, probe_engine, config):
+        def fresh_study():
+            # The sensor is stateful (its readout-noise RNG advances per
+            # trace), so determinism holds per (sensor, study) pair.
+            delay_model = GateDelayModel(config.delay)
+            theta = theta_for_target(config.tdc, delay_model,
+                                     voltage=0.9867)
+            fresh = TDCSensor(config.tdc, delay_model, theta,
+                              rng=np.random.default_rng(55))
+            return DetectionStudy(probe_engine, fresh, seed=7)
+
+        a, b = fresh_study(), fresh_study()
+        assert np.array_equal(a.attacked_trace(5000, 50),
+                              b.attacked_trace(5000, 50))
+        assert np.array_equal(a.clean_traces(1)[0], b.clean_traces(1)[0])
+
+    def test_attack_start_tick_matches_schedule(self, study, config):
+        tpc = config.clock.ticks_per_victim_cycle
+        assert study.attack_start_tick == study.target.start_cycle * tpc

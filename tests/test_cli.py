@@ -32,6 +32,22 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["campaign", "--chaos", "tornado"])
 
+    def test_defend_defaults(self):
+        args = build_parser().parse_args(["defend"])
+        assert args.output == "defense.json"
+        assert args.layer == "conv2"
+        assert args.cells == [3000, 5500, 8000]
+        assert args.strikes == 4500
+        assert not args.skip_detection and not args.tmr
+
+    def test_defend_flags(self):
+        args = build_parser().parse_args(
+            ["defend", "--cells", "4000", "9000", "--skip-detection",
+             "--tmr", "-o", "d.json"])
+        assert args.cells == [4000, 9000]
+        assert args.skip_detection and args.tmr
+        assert args.output == "d.json"
+
     def test_bad_sweep_syntax_rejected(self):
         from repro.cli import _parse_sweep_args
 
@@ -150,6 +166,39 @@ class TestCommands:
         payload = json.loads(target.read_text())
         for failure in payload["failures"]:
             assert failure["error_type"] == "ChaosError"
+
+    def test_defend_round_trip(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "defense.json"
+        assert main(["defend", "-o", str(target), "--images", "8",
+                     "--cells", "5500", "--strikes", "300",
+                     "--detection-trials", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "droop-monitor detection" in out
+        assert "arms race" in out
+        assert "recover" in out
+        payload = json.loads(target.read_text())
+        assert payload["format_version"] == 1
+        assert len(payload["detection"]) == 1
+        defenses = {c["defense"] for c in payload["arms_race"]}
+        assert defenses == {"none", "recover"}
+        for cell in payload["arms_race"]:
+            assert 0.0 <= cell["attacked_accuracy"] <= 1.0
+
+    def test_defend_skip_detection_with_tmr_arm(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "defense.json"
+        assert main(["defend", "-o", str(target), "--images", "8",
+                     "--cells", "5500", "--strikes", "300",
+                     "--skip-detection", "--tmr"]) == 0
+        out = capsys.readouterr().out
+        assert "droop-monitor detection" not in out
+        payload = json.loads(target.read_text())
+        assert payload["detection"] == []
+        defenses = {c["defense"] for c in payload["arms_race"]}
+        assert defenses == {"none", "recover", "tmr"}
 
     def test_report_to_file(self, tmp_path, capsys):
         target = tmp_path / "report.md"

@@ -35,6 +35,90 @@ class TestZoo:
         assert "victim" in victim.summary()
 
 
+class TestCacheRobustness:
+    """A damaged cache file is a miss (delete + retrain), never a crash,
+    and saves are atomic."""
+
+    @pytest.fixture()
+    def fast_zoo(self, monkeypatch):
+        """Zoo with training stubbed out and a tiny dataset recipe."""
+        from repro import zoo
+
+        calls = []
+
+        def fake_train(dataset, model_name):
+            calls.append(model_name)
+            return zoo.MODEL_BUILDERS[model_name](
+                rng=np.random.default_rng(0)
+            )
+
+        monkeypatch.setattr(zoo, "_train", fake_train)
+        monkeypatch.setitem(zoo.RECIPE, "n_train", 30)
+        monkeypatch.setitem(zoo.RECIPE, "n_test", 12)
+        return zoo, calls
+
+    def _cache_path(self, zoo, tmp_path):
+        return tmp_path / f"lenet5_victim_{zoo._recipe_key('lenet5')}.npz"
+
+    def test_fresh_save_then_exact_reload(self, fast_zoo, tmp_path):
+        zoo, calls = fast_zoo
+        first = zoo.get_pretrained(cache_dir=tmp_path)
+        assert calls == ["lenet5"]
+        again = zoo.get_pretrained(cache_dir=tmp_path)
+        assert calls == ["lenet5"]  # second call was a cache hit
+        for key, value in first.model.state_dict().items():
+            np.testing.assert_array_equal(value,
+                                          again.model.state_dict()[key])
+        # The atomic writer leaves no temp droppings behind.
+        assert [p.name for p in tmp_path.glob("*.tmp")] == []
+
+    def test_garbage_cache_file_treated_as_miss(self, fast_zoo, tmp_path):
+        zoo, calls = fast_zoo
+        path = self._cache_path(zoo, tmp_path)
+        path.write_bytes(b"this is not an npz archive")
+        victim = zoo.get_pretrained(cache_dir=tmp_path)
+        assert calls == ["lenet5"]  # retrained instead of crashing
+        assert victim.dataset.n_test == 12
+        # The rebuilt cache is valid: next call loads it.
+        zoo.get_pretrained(cache_dir=tmp_path)
+        assert calls == ["lenet5"]
+
+    def test_truncated_cache_file_treated_as_miss(self, fast_zoo,
+                                                  tmp_path):
+        zoo, calls = fast_zoo
+        path = self._cache_path(zoo, tmp_path)
+        zoo.get_pretrained(cache_dir=tmp_path)
+        path.write_bytes(path.read_bytes()[:100])  # interrupted write
+        zoo.get_pretrained(cache_dir=tmp_path)
+        assert calls == ["lenet5", "lenet5"]
+
+    def test_archive_with_missing_keys_treated_as_miss(self, fast_zoo,
+                                                       tmp_path):
+        zoo, calls = fast_zoo
+        path = self._cache_path(zoo, tmp_path)
+        np.savez_compressed(path, wrong_key=np.zeros(3))
+        zoo.get_pretrained(cache_dir=tmp_path)
+        assert calls == ["lenet5"]
+
+    def test_interrupted_save_never_clobbers_the_cache(self, fast_zoo,
+                                                       tmp_path,
+                                                       monkeypatch):
+        zoo, calls = fast_zoo
+        path = self._cache_path(zoo, tmp_path)
+        zoo.get_pretrained(cache_dir=tmp_path)
+        good = path.read_bytes()
+
+        def exploding_savez(handle, **payload):
+            handle.write(b"partial")
+            raise OSError("disk full")
+
+        monkeypatch.setattr(zoo.np, "savez_compressed", exploding_savez)
+        with pytest.raises(OSError):
+            zoo._atomic_savez(path, {"x": np.zeros(2)})
+        assert path.read_bytes() == good  # untouched
+        assert [p.name for p in tmp_path.glob("*.tmp")] == []
+
+
 class TestTestbedAccounting:
     def test_total_utilization_within_device(self, victim):
         from repro.testbed import build_attack_testbed
