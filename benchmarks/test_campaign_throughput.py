@@ -1,0 +1,90 @@
+"""Campaign throughput: serial versus process-parallel execution.
+
+Times the Fig 5(b) default campaign spec at ``workers=1`` and
+``workers=4`` and writes ``BENCH_campaign.json`` (cells/sec per mode,
+speedup, host core count) at the repo root — the first entry in the
+benchmark-regression trajectory.  The run is also differential: the two
+modes must produce byte-identical campaign JSON, so the throughput
+number can never be bought with a correctness regression.
+
+The >= 2x speedup assertion only arms on hosts with >= 4 CPUs (the CI
+runner); on smaller boxes the bench still records honest numbers.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import CampaignSpec, DeepStrike, run_campaign
+from repro.core.campaign import _atomic_write_text, _to_json
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_campaign.json"
+PARALLEL_WORKERS = 4
+
+
+def fresh_attack(victim):
+    from repro.accel import AcceleratorEngine
+
+    engine = AcceleratorEngine(victim.quantized,
+                               rng=np.random.default_rng(66))
+    return DeepStrike(engine, rng=np.random.default_rng(77))
+
+
+def timed_run(victim, spec, workers):
+    attack = fresh_attack(victim)
+    start = time.perf_counter()
+    result = run_campaign(attack, victim.dataset.test_images,
+                          victim.dataset.test_labels, spec, workers=workers)
+    elapsed = time.perf_counter() - start
+    return result, elapsed
+
+
+def test_campaign_throughput(victim):
+    spec = CampaignSpec.fig5b_default()
+    n_cells = len(spec.cells())
+
+    serial, t_serial = timed_run(victim, spec, workers=1)
+    parallel, t_parallel = timed_run(victim, spec,
+                                     workers=PARALLEL_WORKERS)
+
+    # Differential guard: speed must not change a single byte.
+    assert _to_json(parallel, complete=True) == _to_json(serial,
+                                                         complete=True)
+
+    serial_cps = n_cells / t_serial
+    parallel_cps = n_cells / t_parallel
+    speedup = parallel_cps / serial_cps
+    payload = {
+        "bench": "campaign-throughput",
+        "spec": "fig5b_default",
+        "cells": n_cells,
+        "eval_images": spec.eval_images,
+        "cpu_count": os.cpu_count(),
+        "workers": {
+            "1": {"seconds": round(t_serial, 3),
+                  "cells_per_sec": round(serial_cps, 3)},
+            str(PARALLEL_WORKERS): {"seconds": round(t_parallel, 3),
+                                    "cells_per_sec": round(parallel_cps,
+                                                           3)},
+        },
+        "speedup": round(speedup, 3),
+    }
+    _atomic_write_text(BENCH_PATH, json.dumps(payload, indent=2) + "\n")
+
+    print(f"\ncampaign throughput ({n_cells} cells, "
+          f"{spec.eval_images} images/cell, {os.cpu_count()} CPUs):")
+    print(f"  workers=1: {t_serial:6.2f}s  ({serial_cps:.2f} cells/s)")
+    print(f"  workers={PARALLEL_WORKERS}: {t_parallel:6.2f}s  "
+          f"({parallel_cps:.2f} cells/s)  speedup {speedup:.2f}x")
+
+    if (os.cpu_count() or 1) >= PARALLEL_WORKERS:
+        assert speedup >= 2.0, \
+            f"parallel campaign only {speedup:.2f}x on a " \
+            f"{os.cpu_count()}-core host (floor: 2x)"
+    else:
+        pytest.skip(f"only {os.cpu_count()} CPU(s): recorded throughput "
+                    "without arming the speedup floor")

@@ -15,6 +15,14 @@ kills campaign cells, all behind restore-on-exit context managers:
 Everything is driven by one ``numpy`` generator seeded from the spec,
 so a chaos run is exactly reproducible.  Used by
 ``tests/integration/test_chaos.py`` and the CLI's ``--chaos`` flag.
+
+Chaos composes with process-parallel campaigns (``--workers N``): the
+cell-kill hook is a ``before_cell`` callback, and ``run_campaign`` pins
+``before_cell`` to fire in the *submitting* process at dispatch time in
+canonical cell order — so the injector's RNG draws happen in the same
+sequence at every worker count, and a chaos campaign at ``workers=4``
+kills exactly the cells the serial run kills (the parity suite enforces
+this).
 """
 
 from __future__ import annotations
@@ -254,6 +262,12 @@ class ChaosInjector:
         Raises :class:`~repro.errors.ChaosError`, which ``run_campaign``
         records as a :class:`~repro.core.campaign.CellFailure` — the
         campaign itself must keep going.
+
+        Worker-count independence: ``run_campaign`` invokes this in the
+        submitting process at dispatch time, in canonical cell order,
+        for serial and parallel runs alike — so the draws below consume
+        ``self.rng`` in the same sequence and the same cells die
+        whether the campaign runs at ``workers=1`` or ``workers=N``.
         """
         if self.rng.random() < self.spec.cell_failure_prob:
             self.stats["failed_cells"] += 1

@@ -88,6 +88,10 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--chaos", default=None,
                           choices=sorted(CHAOS_PRESETS),
                           help="run under a chaos-injection preset")
+    campaign.add_argument("--workers", type=int, default=1, metavar="N",
+                          help="shard campaign cells across N worker "
+                               "processes (byte-identical to the serial "
+                               "run; default 1)")
     campaign.add_argument("--sweep", action="append", default=None,
                           metavar="LAYER=N1,N2,...",
                           help="override the default study (repeatable; "
@@ -352,7 +356,8 @@ def _cmd_campaign(args) -> int:
                               victim.dataset.test_labels, spec,
                               checkpoint_path=args.checkpoint or args.resume,
                               resume_from=args.resume,
-                              before_cell=before_cell)
+                              before_cell=before_cell,
+                              workers=args.workers)
         save_campaign(result, args.output)
         print(f"campaign written to {args.output}")
     print(f"clean accuracy: {result.clean_accuracy:.4f}")

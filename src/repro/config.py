@@ -32,6 +32,7 @@ __all__ = [
     "AcceleratorConfig",
     "ReliabilityConfig",
     "RecoveryConfig",
+    "ExecutorConfig",
     "SimulationConfig",
     "default_config",
 ]
@@ -372,6 +373,37 @@ class RecoveryConfig:
 
 
 @dataclass(frozen=True)
+class ExecutorConfig:
+    """Process-parallel campaign executor (docs/reliability.md).
+
+    Campaign cells are embarrassingly parallel — every ``(target,
+    strike-count)`` cell runs under its own blake2s-derived RNG stream —
+    so ``run_campaign(..., workers=N)`` shards them across a process
+    pool.  This section controls pool mechanics only; determinism comes
+    from the per-cell reseeding, not from here.
+    """
+
+    #: How worker processes start: "auto" picks fork where the platform
+    #: offers it (cheapest startup, inherits the loaded interpreter) and
+    #: spawn elsewhere.
+    mp_start_method: str = "auto"
+    #: Safety ceiling on the effective pool size regardless of the
+    #: ``workers=`` argument (a fat-fingered ``--workers 4000`` should
+    #: not fork-bomb the host).
+    worker_cap: int = 32
+
+    def validate(self) -> None:
+        if self.mp_start_method not in ("auto", "fork", "spawn",
+                                        "forkserver"):
+            raise ConfigError(
+                "mp_start_method must be one of auto/fork/spawn/"
+                f"forkserver, got {self.mp_start_method!r}"
+            )
+        if self.worker_cap < 1:
+            raise ConfigError("worker_cap must be >= 1")
+
+
+@dataclass(frozen=True)
 class SimulationConfig:
     """Bundle of all subsystem configurations plus the global RNG seed."""
 
@@ -384,6 +416,7 @@ class SimulationConfig:
     accel: AcceleratorConfig = field(default_factory=AcceleratorConfig)
     reliability: ReliabilityConfig = field(default_factory=ReliabilityConfig)
     recovery: RecoveryConfig = field(default_factory=RecoveryConfig)
+    executor: ExecutorConfig = field(default_factory=ExecutorConfig)
     seed: int = 20210705
 
     def validate(self) -> "SimulationConfig":
@@ -397,6 +430,7 @@ class SimulationConfig:
         self.accel.validate()
         self.reliability.validate()
         self.recovery.validate()
+        self.executor.validate()
         if self.pdn.v_nominal != self.delay.v_nominal:
             raise ConfigError(
                 "PDN and delay model disagree on nominal voltage: "

@@ -15,7 +15,10 @@ The attack stack, bottom to top:
 * :mod:`~repro.core.attack` — the DeepStrike planner/orchestrator
   (profile, plan, compute strike voltages, execute, evaluate),
 * :mod:`~repro.core.blind` — the unguided baseline attack of Fig 5(b),
-* :mod:`~repro.core.remote` — the UART-style remote guidance channel.
+* :mod:`~repro.core.remote` — the UART-style remote guidance channel,
+* :mod:`~repro.core.campaign` / :mod:`~repro.core.executor` — the
+  Fig 5(b)-style study runner: resumable, fault-isolated, and
+  process-parallel with byte-identical serial parity.
 """
 
 from .scheme import AttackScheme
@@ -33,6 +36,7 @@ from .campaign import (
     run_campaign,
     save_campaign,
 )
+from .executor import WorkerRecipe
 from .link_faults import LinkFaultConfig, LinkFaultModel, LinkStats
 from .remote import RemoteAttacker, TraceReply, UARTLink
 from .evaluation import AttackOutcome, LayerSweepResult, sweep_to_rows
@@ -59,6 +63,7 @@ __all__ = [
     "SignalRAM",
     "TraceReply",
     "UARTLink",
+    "WorkerRecipe",
     "load_campaign",
     "run_campaign",
     "save_campaign",

@@ -20,6 +20,14 @@ is fault-isolated and resumable:
   campaign resumed from its checkpoint produces a byte-identical final
   JSON to an uninterrupted run.
 
+Because every cell runs under its own stream, cells are also
+*embarrassingly parallel*: ``run_campaign(..., workers=N)`` shards them
+across a process pool (:mod:`repro.core.executor`) with the guarantee —
+enforced by ``tests/core/test_parallel_parity.py`` — that the final
+campaign JSON is byte-identical to the ``workers=1`` run, including
+interrupted-and-resumed runs.  :func:`_execute_cell` is the single
+source of truth both paths call.
+
 File format v2 adds the ``failures`` and ``complete`` fields; v1 files
 still load.
 """
@@ -143,6 +151,35 @@ def _reseed(rng: np.random.Generator, seed: int) -> None:
     rng.bit_generator.state = np.random.default_rng(seed).bit_generator.state
 
 
+#: XOR salt deriving the blind baseline's stream from the cell seed.
+_BLIND_SEED_SALT = 0x9E3779B9
+
+
+def _execute_cell(attack: DeepStrike, blind_box: Dict[str, BlindAttack],
+                  images: np.ndarray, labels: np.ndarray,
+                  base_seed: int, target: str, count: int) -> AttackOutcome:
+    """Run one ``(target, count)`` cell under its derived RNG stream.
+
+    The single source of truth for cell execution: the serial loop and
+    every parallel worker (:mod:`repro.core.executor`) call exactly this
+    function, which is what makes a ``workers=N`` campaign byte-identical
+    to the serial run.  ``blind_box`` caches the lazily built
+    :class:`BlindAttack` across calls (one per process).
+    """
+    seed = _cell_seed(base_seed, target, count)
+    _reseed(attack.engine.rng, seed)
+    if target == BLIND_TARGET:
+        blind = blind_box.get(BLIND_TARGET)
+        if blind is None:
+            blind = BlindAttack(attack.engine, bank_cells=attack.bank_cells,
+                                rng=np.random.default_rng(0))
+            blind_box[BLIND_TARGET] = blind
+        _reseed(blind.rng, seed ^ _BLIND_SEED_SALT)
+        return blind.execute(images, labels, blind.plan_random(count))
+    plan = attack.plan_for_layer(target, count)
+    return attack.execute(images, labels, plan)
+
+
 def _assemble(spec: CampaignSpec, clean: float,
               outcomes: Dict[Tuple[str, int], AttackOutcome],
               failures: Dict[Tuple[str, int], CellFailure]
@@ -172,6 +209,8 @@ def run_campaign(attack: DeepStrike, images: np.ndarray,
                  checkpoint_path=None,
                  resume_from=None,
                  before_cell: Optional[Callable[[str, int], None]] = None,
+                 workers: int = 1,
+                 recipe=None,
                  ) -> CampaignResult:
     """Execute a campaign with the given attacker.
 
@@ -185,12 +224,33 @@ def run_campaign(attack: DeepStrike, images: np.ndarray,
         given; with ``spec=None`` the checkpoint's spec is used.  Cells
         that previously *failed* are retried.
     before_cell:
-        Called with ``(target, count)`` before each cell executes.  A
-        :class:`~repro.errors.ReproError` raised here (or inside the
-        cell) is recorded as a :class:`CellFailure`; anything else —
-        notably ``KeyboardInterrupt`` — propagates, leaving the last
-        checkpoint valid on disk.
+        Called with ``(target, count)`` in the *submitting* process at
+        *dispatch time*, in canonical :meth:`CampaignSpec.cells` order —
+        under ``workers=1`` that is immediately before the cell
+        executes; under ``workers>1`` the whole pending set is
+        dispatched up front, so the hook must not depend on earlier
+        cells' results.  A :class:`~repro.errors.ReproError` raised here
+        (or inside the cell) is recorded as a :class:`CellFailure` and
+        the cell is never executed; anything else — notably
+        ``KeyboardInterrupt`` — propagates, leaving the last checkpoint
+        valid on disk.  Because the hook always runs in the submitting
+        process in canonical order, a stateful hook (e.g. the chaos
+        injector's cell killer) makes identical decisions at every
+        worker count.
+    workers:
+        Shard pending cells across this many worker processes
+        (:mod:`repro.core.executor`).  ``1`` (the default) runs the
+        untouched serial path.  Per-cell reseeding makes the final
+        result byte-identical either way.
+    recipe:
+        A :class:`~repro.core.executor.WorkerRecipe` telling workers how
+        to rebuild the attack (victim zoo name + ``SimulationConfig`` +
+        bank size).  Defaults to ``WorkerRecipe.from_attack(attack)``,
+        which assumes the standard ``lenet5`` zoo victim — pass an
+        explicit recipe for any other victim.  Ignored at ``workers=1``.
     """
+    if workers < 1:
+        raise ConfigError(f"workers must be >= 1, got {workers}")
     plan_spec = spec
     outcomes: Dict[Tuple[str, int], AttackOutcome] = {}
     failures: Dict[Tuple[str, int], CellFailure] = {}
@@ -220,27 +280,27 @@ def run_campaign(attack: DeepStrike, images: np.ndarray,
             (attack.engine.predict_clean(images) == labels).mean()
         )
 
-    blind: Optional[BlindAttack] = None
+    if workers > 1:
+        from .executor import WorkerRecipe, run_parallel
+
+        active_recipe = recipe if recipe is not None \
+            else WorkerRecipe.from_attack(attack)
+        return run_parallel(active_recipe, images, labels, plan_spec, clean,
+                            outcomes, failures, workers=workers,
+                            checkpoint_path=checkpoint_path,
+                            before_cell=before_cell)
+
+    blind_box: Dict[str, BlindAttack] = {}
     for target, count in plan_spec.cells():
         if (target, count) in outcomes:
             continue
         try:
             if before_cell is not None:
                 before_cell(target, count)
-            seed = _cell_seed(plan_spec.seed, target, count)
-            _reseed(attack.engine.rng, seed)
-            if target == BLIND_TARGET:
-                if blind is None:
-                    blind = BlindAttack(attack.engine,
-                                        bank_cells=attack.bank_cells,
-                                        rng=np.random.default_rng(0))
-                _reseed(blind.rng, seed ^ 0x9E3779B9)
-                outcome = blind.execute(images, labels,
-                                        blind.plan_random(count))
-            else:
-                plan = attack.plan_for_layer(target, count)
-                outcome = attack.execute(images, labels, plan)
-            outcomes[(target, count)] = outcome
+            outcomes[(target, count)] = _execute_cell(
+                attack, blind_box, images, labels, plan_spec.seed,
+                target, count,
+            )
         except ReproError as exc:
             failures[(target, count)] = CellFailure(
                 target_layer=target, n_strikes=count,

@@ -1,0 +1,236 @@
+"""Process-parallel campaign execution with serial-parity guarantees.
+
+PR 1 gave every campaign cell its own blake2s-derived RNG stream, which
+made cells independent of execution *order*; this module makes them
+independent of execution *process*.  ``run_campaign(..., workers=N)``
+lands here and shards the pending ``(target, strike-count)`` cells
+across a :class:`concurrent.futures.ProcessPoolExecutor`:
+
+* **Workers rebuild, never unpickle.**  A worker receives a
+  :class:`WorkerRecipe` — victim *zoo name*, frozen
+  :class:`~repro.config.SimulationConfig` (so ``ReliabilityConfig`` and
+  every other section apply per worker), striker bank size — and
+  reconstructs the engine/attack itself in its initializer.  Live
+  engines are never pickled across the process boundary.
+* **Out-of-order completions merge losslessly.**  Results land in the
+  same ``(target, count)``-keyed dicts the serial loop fills;
+  :func:`~repro.core.campaign._assemble` orders them canonically, so
+  the final JSON is byte-identical to the serial run.  A checkpoint is
+  written with the same atomic ``os.replace`` discipline after every
+  completion (and every dispatch-time failure), so ``--resume``
+  semantics are unchanged — any checkpoint a parallel run leaves behind
+  resumes into the same bytes.
+* **Fault isolation is unchanged.**  A :class:`~repro.errors.ReproError`
+  inside a worker cell comes back as a structured
+  :class:`~repro.core.campaign.CellFailure` record; only a worker
+  *process* dying (segfault, OOM kill) raises, as a typed
+  :class:`~repro.errors.WorkerCrashError`, with the last checkpoint
+  still valid on disk.
+* **Hooks fire at dispatch.**  ``before_cell`` runs in the submitting
+  process, at dispatch time, in canonical cell order — the pinned
+  contract that keeps stateful hooks (the chaos injector's cell killer)
+  making identical decisions at every worker count.
+
+The differential tests in ``tests/core/test_parallel_parity.py`` enforce
+the headline guarantee: ``workers ∈ {1, 2, 4}`` produce byte-identical
+final campaign JSON, including interrupted-and-resumed runs and runs
+under a chaos preset.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..config import SimulationConfig, default_config
+from ..errors import ReproError, WorkerCrashError
+from .attack import DEFAULT_ATTACK_CELLS, DeepStrike
+from .campaign import (
+    CampaignResult,
+    CampaignSpec,
+    CellFailure,
+    _assemble,
+    _atomic_write_text,
+    _execute_cell,
+    _to_json,
+)
+from .evaluation import AttackOutcome
+
+__all__ = ["WorkerRecipe", "run_parallel"]
+
+
+@dataclass(frozen=True)
+class WorkerRecipe:
+    """Everything a worker process needs to rebuild the attack.
+
+    Deliberately *data only*: a zoo victim name, a frozen
+    :class:`SimulationConfig`, and the striker bank size.  The worker
+    initializer loads the victim's cached weights by name
+    (:func:`repro.zoo.load_quantized`), rebuilds the engine and
+    :class:`DeepStrike` from the config, and relies on per-cell
+    reseeding for parity — so nothing stateful ever crosses the process
+    boundary.
+    """
+
+    victim_name: str = "lenet5"
+    bank_cells: int = DEFAULT_ATTACK_CELLS
+    config: SimulationConfig = field(default_factory=default_config)
+
+    @classmethod
+    def from_attack(cls, attack: DeepStrike,
+                    victim_name: str = "lenet5") -> "WorkerRecipe":
+        """Derive a recipe from a live attack (zoo victims only — the
+        worker relocates the victim by ``victim_name``, so a model that
+        did not come from the zoo needs its own recipe)."""
+        return cls(victim_name=victim_name, bank_cells=attack.bank_cells,
+                   config=attack.config)
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _WorkerState:
+    """Per-process rebuilt attack stack (set once by the initializer)."""
+
+    attack: DeepStrike
+    blind_box: dict
+    images: np.ndarray
+    labels: np.ndarray
+
+
+_STATE: Optional[_WorkerState] = None
+
+
+def _init_worker(recipe: WorkerRecipe, images: np.ndarray,
+                 labels: np.ndarray) -> None:
+    """Build this worker's attack stack from the recipe (runs once per
+    process).  The RNG seeds here are irrelevant: every cell reseeds the
+    engine stream from its blake2s-derived cell seed before executing.
+    """
+    global _STATE
+    from ..accel import AcceleratorEngine
+    from ..zoo import load_quantized
+
+    quantized = load_quantized(recipe.victim_name)
+    engine = AcceleratorEngine(quantized, config=recipe.config,
+                               rng=np.random.default_rng(0))
+    attack = DeepStrike(engine, bank_cells=recipe.bank_cells,
+                        rng=np.random.default_rng(0))
+    _STATE = _WorkerState(attack=attack, blind_box={},
+                          images=images, labels=labels)
+
+
+def _worker_cell(target: str, count: int, base_seed: int):
+    """Execute one cell in a worker; runs in the pool process.
+
+    Returns ``("outcome", AttackOutcome)`` or — for any in-cell
+    :class:`ReproError`, preserving the serial loop's fault isolation —
+    ``("failure", CellFailure)``.  Non-``ReproError`` exceptions
+    propagate and surface in the parent, exactly as they do serially.
+    """
+    state = _STATE
+    if state is None:  # pragma: no cover - pool always runs the initializer
+        raise RuntimeError("campaign worker used before initialization")
+    try:
+        outcome = _execute_cell(state.attack, state.blind_box, state.images,
+                                state.labels, base_seed, target, count)
+        return "outcome", outcome
+    except ReproError as exc:
+        return "failure", CellFailure(
+            target_layer=target, n_strikes=count,
+            error_type=type(exc).__name__, message=str(exc),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Submitting side
+# ---------------------------------------------------------------------------
+
+
+def _resolve_start_method(name: str) -> str:
+    """Map the config's "auto" to the cheapest available start method."""
+    if name != "auto":
+        return name
+    return "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+
+
+def run_parallel(recipe: WorkerRecipe, images: np.ndarray,
+                 labels: np.ndarray, spec: CampaignSpec, clean: float,
+                 outcomes: Dict[Tuple[str, int], AttackOutcome],
+                 failures: Dict[Tuple[str, int], CellFailure],
+                 *,
+                 workers: int,
+                 checkpoint_path=None,
+                 before_cell: Optional[Callable[[str, int], None]] = None,
+                 ) -> CampaignResult:
+    """Shard the pending cells of ``spec`` across a process pool.
+
+    Called by :func:`~repro.core.campaign.run_campaign` after the shared
+    prelude (resume loading, spec resolution, clean-accuracy
+    measurement); ``outcomes``/``failures`` arrive pre-populated from
+    the checkpoint on a resumed run and are mutated in place.
+    """
+    pending = [cell for cell in spec.cells() if cell not in outcomes]
+
+    def checkpoint() -> None:
+        if checkpoint_path is not None:
+            result = _assemble(spec, clean, outcomes, failures)
+            _atomic_write_text(checkpoint_path,
+                               _to_json(result, complete=False))
+
+    if not pending:
+        return _assemble(spec, clean, outcomes, failures)
+
+    n_workers = max(1, min(workers, len(pending),
+                           recipe.config.executor.worker_cap))
+    ctx = mp.get_context(
+        _resolve_start_method(recipe.config.executor.mp_start_method)
+    )
+    pool = ProcessPoolExecutor(max_workers=n_workers, mp_context=ctx,
+                               initializer=_init_worker,
+                               initargs=(recipe, images, labels))
+    try:
+        futures: Dict[object, Tuple[str, int]] = {}
+        for target, count in pending:
+            if before_cell is not None:
+                try:
+                    before_cell(target, count)
+                except ReproError as exc:
+                    failures[(target, count)] = CellFailure(
+                        target_layer=target, n_strikes=count,
+                        error_type=type(exc).__name__, message=str(exc),
+                    )
+                    checkpoint()
+                    continue
+            future = pool.submit(_worker_cell, target, count, spec.seed)
+            futures[future] = (target, count)
+        for future in as_completed(futures):
+            target, count = futures[future]
+            try:
+                kind, payload = future.result()
+            except BrokenProcessPool as exc:
+                raise WorkerCrashError(
+                    f"campaign worker died executing cell "
+                    f"({target!r}, {count}); the last checkpoint is still "
+                    f"valid — resume from it",
+                    target_layer=target, n_strikes=count,
+                ) from exc
+            if kind == "outcome":
+                outcomes[(target, count)] = payload
+            else:
+                failures[(target, count)] = payload
+            checkpoint()
+    finally:
+        # On KeyboardInterrupt (or any error) drop the queued cells and
+        # let running ones finish, so the last checkpoint on disk is
+        # always a complete, valid snapshot.
+        pool.shutdown(wait=True, cancel_futures=True)
+    return _assemble(spec, clean, outcomes, failures)

@@ -74,6 +74,23 @@ class ChaosError(ReproError):
     """A failure injected by the chaos harness (not a real library bug)."""
 
 
+class WorkerCrashError(ReproError):
+    """A campaign worker process died without returning a result.
+
+    An in-cell :class:`ReproError` is recorded as a ``CellFailure`` and
+    the campaign survives it; a crashed worker (segfault, OOM kill,
+    ``os._exit``) means results were lost in flight and the pool is
+    broken, so the campaign stops.  The last atomically written
+    checkpoint is still valid on disk and ``--resume`` picks up from it.
+    """
+
+    def __init__(self, message: str, target_layer: str = "",
+                 n_strikes: int = 0) -> None:
+        self.target_layer = target_layer
+        self.n_strikes = n_strikes
+        super().__init__(message)
+
+
 class RecoveryExhaustedError(ReproError):
     """The hardened victim's replay budget ran out on a layer that keeps
     flagging timing errors.

@@ -33,7 +33,7 @@ from .nn import (
 from .nn.model import build_cnn7
 
 __all__ = ["MODEL_BUILDERS", "PretrainedVictim", "get_pretrained",
-           "default_cache_dir"]
+           "load_quantized", "default_cache_dir"]
 
 #: Victim architectures the zoo can train (all share the training recipe).
 MODEL_BUILDERS = {
@@ -210,3 +210,28 @@ def get_pretrained(cache_dir: Optional[Path] = None,
         quantized_accuracy=q_acc,
         name=model_name,
     )
+
+
+def load_quantized(model_name: str = "lenet5",
+                   cache_dir: Optional[Path] = None) -> QuantizedModel:
+    """Fast path to a victim's quantized model (campaign workers).
+
+    Skips the float/quantized accuracy evaluations — most of
+    :func:`get_pretrained`'s wall clock once the cache is warm — because
+    a campaign worker only needs the weights.  A cache miss (or corrupt
+    archive) falls back to the full :func:`get_pretrained` train-and-
+    cache path, so concurrent workers racing on a cold cache all
+    converge on the same deterministic artifact.
+    """
+    if model_name not in MODEL_BUILDERS:
+        raise ReproError(
+            f"unknown victim '{model_name}'; have {sorted(MODEL_BUILDERS)}"
+        )
+    directory = Path(cache_dir) if cache_dir is not None \
+        else default_cache_dir()
+    path = directory / f"{model_name}_victim_{_recipe_key(model_name)}.npz"
+    if path.exists():
+        loaded = _load_cached(path, model_name)
+        if loaded is not None:
+            return quantize_model(loaded[0])
+    return get_pretrained(cache_dir=cache_dir, model_name=model_name).quantized

@@ -1,0 +1,229 @@
+"""Differential serial-vs-parallel parity suite (the executor's contract).
+
+The process-parallel campaign executor's headline guarantee is not
+"roughly the same numbers" but *byte-identical final campaign JSON* at
+any worker count — including interrupted-and-resumed runs and runs under
+a chaos preset.  These tests enforce it by diffing the serialized output
+of ``workers=1`` against ``workers ∈ {2, 4}`` runs, plus the fault
+isolation and hook-ordering contracts the parallel path must preserve.
+"""
+
+import multiprocessing as mp
+import os
+
+import numpy as np
+import pytest
+
+from repro.chaos import ChaosInjector, chaos_preset
+from repro.core import CampaignSpec, DeepStrike, run_campaign
+from repro.core import executor as executor_mod
+from repro.core.campaign import _to_json
+from repro.core.executor import WorkerRecipe
+from repro.errors import ConfigError, ProfilingError, WorkerCrashError
+
+WORKER_COUNTS = [2, 4]
+
+
+@pytest.fixture(scope="module")
+def victim():
+    from repro.zoo import get_pretrained
+
+    return get_pretrained()
+
+
+@pytest.fixture(scope="module")
+def small_spec():
+    return CampaignSpec(sweeps=(("pool1", (40, 80)),), blind_counts=(40,),
+                        eval_images=16, seed=5)
+
+
+def fresh_attack(victim):
+    from repro.accel import AcceleratorEngine
+
+    engine = AcceleratorEngine(victim.quantized,
+                               rng=np.random.default_rng(66))
+    return DeepStrike(engine, rng=np.random.default_rng(77))
+
+
+def run(victim, spec, **kwargs):
+    return run_campaign(fresh_attack(victim), victim.dataset.test_images,
+                        victim.dataset.test_labels, spec, **kwargs)
+
+
+@pytest.fixture(scope="module")
+def serial_json(victim, small_spec):
+    """The golden artifact every parallel run must reproduce exactly."""
+    return _to_json(run(victim, small_spec), complete=True)
+
+
+class TestByteParity:
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_workers_match_serial_bytes(self, victim, small_spec,
+                                        serial_json, workers):
+        parallel = run(victim, small_spec, workers=workers)
+        assert _to_json(parallel, complete=True) == serial_json
+
+    def test_checkpointed_parallel_matches_serial(self, victim, small_spec,
+                                                  serial_json, tmp_path):
+        """Checkpoints land in completion order, but the final assembly
+        is canonical — the bytes still match."""
+        ckpt = tmp_path / "ckpt.json"
+        parallel = run(victim, small_spec, workers=2, checkpoint_path=ckpt)
+        assert _to_json(parallel, complete=True) == serial_json
+        assert ckpt.exists()
+
+    def test_explicit_recipe_matches_default(self, victim, small_spec,
+                                             serial_json):
+        recipe = WorkerRecipe.from_attack(fresh_attack(victim),
+                                          victim_name="lenet5")
+        parallel = run(victim, small_spec, workers=2, recipe=recipe)
+        assert _to_json(parallel, complete=True) == serial_json
+
+    def test_workers_below_one_rejected(self, victim, small_spec):
+        with pytest.raises(ConfigError, match="workers"):
+            run(victim, small_spec, workers=0)
+
+
+class TestResumeParity:
+    def test_kill_and_resume_mid_campaign(self, victim, small_spec,
+                                          serial_json, tmp_path,
+                                          monkeypatch):
+        """Acceptance: SIGINT mid-parallel-campaign, resume at workers=2,
+        final bytes equal the uninterrupted serial run."""
+        ckpt = tmp_path / "ckpt.json"
+        writes = []
+        orig = executor_mod._atomic_write_text
+
+        def interrupting_write(path, text):
+            orig(path, text)
+            writes.append(text)
+            if len(writes) == 2:
+                raise KeyboardInterrupt  # what SIGINT raises
+
+        monkeypatch.setattr(executor_mod, "_atomic_write_text",
+                            interrupting_write)
+        with pytest.raises(KeyboardInterrupt):
+            run(victim, small_spec, workers=2, checkpoint_path=ckpt)
+        monkeypatch.setattr(executor_mod, "_atomic_write_text", orig)
+        assert ckpt.exists()  # the checkpoint survived the interrupt
+
+        resumed = run(victim, small_spec, workers=2, checkpoint_path=ckpt,
+                      resume_from=ckpt)
+        assert _to_json(resumed, complete=True) == serial_json
+
+    def test_serial_checkpoint_resumes_in_parallel(self, victim, small_spec,
+                                                   serial_json, tmp_path):
+        """Cross-mode resume: a checkpoint a serial run left behind feeds
+        a parallel run (and vice-versa formats are the same v2 files)."""
+        ckpt = tmp_path / "ckpt.json"
+
+        def interrupt(target, count):
+            if (target, count) == ("pool1", 80):
+                raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            run(victim, small_spec, checkpoint_path=ckpt,
+                before_cell=interrupt)
+        resumed = run(victim, small_spec, workers=4, resume_from=ckpt)
+        assert _to_json(resumed, complete=True) == serial_json
+
+    def test_fully_complete_resume_skips_pool(self, victim, small_spec,
+                                              serial_json, tmp_path,
+                                              monkeypatch):
+        """Nothing pending: the parallel path must not even build a pool."""
+        ckpt = tmp_path / "ckpt.json"
+        run(victim, small_spec, checkpoint_path=ckpt)
+
+        def explode(*args, **kwargs):
+            raise AssertionError("pool built with no pending cells")
+
+        monkeypatch.setattr(executor_mod, "ProcessPoolExecutor", explode)
+        resumed = run(victim, small_spec, workers=4, resume_from=ckpt)
+        assert _to_json(resumed, complete=True) == serial_json
+
+
+class TestChaosParity:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_chaos_preset_is_worker_count_independent(self, victim,
+                                                      small_spec, workers,
+                                                      tmp_path):
+        """The hostile preset kills the same cells at every worker count:
+        the final JSON (outcomes *and* failures) is byte-identical."""
+        def result_for(n):
+            injector = ChaosInjector(chaos_preset("hostile", seed=3))
+            return _to_json(
+                run(victim, small_spec, workers=n,
+                    before_cell=injector.campaign_cell_hook),
+                complete=True,
+            )
+
+        assert result_for(workers) == result_for(1)
+
+
+class TestWorkerFaultIsolation:
+    @pytest.fixture(scope="class")
+    def bad_spec(self):
+        # "nowhere" is not a layer of the victim schedule: the cell fails
+        # *inside* the worker (plan_for_layer raises ConfigError).
+        return CampaignSpec(sweeps=(("pool1", (40,)), ("nowhere", (10,))),
+                            eval_images=16, seed=5)
+
+    def test_worker_cell_death_recorded_not_raised(self, victim, bad_spec):
+        result = run(victim, bad_spec, workers=2)
+        assert [f.target_layer for f in result.failures] == ["nowhere"]
+        assert result.failures[0].error_type == "ConfigError"
+        done = {(s.target_layer, o.n_strikes)
+                for s in result.sweeps for o in s.outcomes}
+        assert done == {("pool1", 40)}
+
+    def test_failures_match_serial_bytes(self, victim, bad_spec):
+        serial = _to_json(run(victim, bad_spec), complete=True)
+        parallel = _to_json(run(victim, bad_spec, workers=2), complete=True)
+        assert parallel == serial
+
+    def test_dispatch_time_failure_skips_the_cell(self, victim, small_spec):
+        executed = []
+
+        def hook(target, count):
+            executed.append((target, count))
+            if target == "blind":
+                raise ProfilingError("injected at dispatch")
+
+        result = run(victim, small_spec, workers=2, before_cell=hook)
+        assert [f.target_layer for f in result.failures] == ["blind"]
+        done = {(s.target_layer, o.n_strikes)
+                for s in result.sweeps for o in s.outcomes}
+        assert ("blind", 40) not in done
+
+
+class TestDispatchSemantics:
+    def test_before_cell_fires_in_submitting_process_in_order(
+            self, victim, small_spec):
+        """The pinned contract: the hook runs in the parent, at dispatch
+        time, in canonical CampaignSpec.cells() order."""
+        seen = []
+
+        def hook(target, count):
+            seen.append((os.getpid(), target, count))
+
+        run(victim, small_spec, workers=2, before_cell=hook)
+        assert [(t, c) for _, t, c in seen] == small_spec.cells()
+        assert {pid for pid, _, _ in seen} == {os.getpid()}
+
+
+@pytest.mark.skipif("fork" not in mp.get_all_start_methods(),
+                    reason="needs fork to propagate the crash stub")
+class TestWorkerCrash:
+    def test_dead_worker_raises_typed_error_and_keeps_checkpoint(
+            self, victim, small_spec, tmp_path, monkeypatch):
+        """A worker *process* dying is not a cell failure: the campaign
+        stops with WorkerCrashError, the checkpoint stays valid."""
+        monkeypatch.setattr(executor_mod, "_worker_cell", _crash_cell)
+        ckpt = tmp_path / "ckpt.json"
+        with pytest.raises(WorkerCrashError) as excinfo:
+            run(victim, small_spec, workers=2, checkpoint_path=ckpt)
+        assert excinfo.value.target_layer in {"pool1", "blind"}
+
+
+def _crash_cell(target, count, base_seed):  # pragma: no cover - dies
+    os._exit(13)
