@@ -1,14 +1,17 @@
 """Campaign throughput: serial versus process-parallel execution.
 
-Times the Fig 5(b) default campaign spec at ``workers=1`` and
-``workers=4`` and writes ``BENCH_campaign.json`` (cells/sec per mode,
-speedup, host core count) at the repo root — the first entry in the
-benchmark-regression trajectory.  The run is also differential: the two
-modes must produce byte-identical campaign JSON, so the throughput
-number can never be bought with a correctness regression.
+Times the Fig 5(b) default campaign spec and writes
+``BENCH_campaign.json`` at the repo root — one entry in the
+benchmark-regression trajectory.  The top-level ``serial_cells_per_sec``
+is the portable headline number every host records.
 
-The >= 2x speedup assertion only arms on hosts with >= 4 CPUs (the CI
-runner); on smaller boxes the bench still records honest numbers.
+The parallel leg only runs on hosts with >= 4 CPUs (the CI runner):
+there it must produce byte-identical campaign JSON to the serial run
+(the throughput number can never be bought with a correctness
+regression) and clear a 2x speedup floor, and the file gains a
+``speedup`` field.  On smaller boxes a workers-4 "comparison" would
+just time process thrash, so the bench records honest serial numbers
+and skips.
 """
 
 import json
@@ -46,45 +49,51 @@ def timed_run(victim, spec, workers):
 def test_campaign_throughput(victim):
     spec = CampaignSpec.fig5b_default()
     n_cells = len(spec.cells())
+    host_cpus = os.cpu_count() or 1
+    parallel_capable = host_cpus >= PARALLEL_WORKERS
 
     serial, t_serial = timed_run(victim, spec, workers=1)
-    parallel, t_parallel = timed_run(victim, spec,
-                                     workers=PARALLEL_WORKERS)
-
-    # Differential guard: speed must not change a single byte.
-    assert _to_json(parallel, complete=True) == _to_json(serial,
-                                                         complete=True)
-
     serial_cps = n_cells / t_serial
-    parallel_cps = n_cells / t_parallel
-    speedup = parallel_cps / serial_cps
+
     payload = {
         "bench": "campaign-throughput",
         "spec": "fig5b_default",
         "cells": n_cells,
         "eval_images": spec.eval_images,
-        "cpu_count": os.cpu_count(),
+        "cpu_count": host_cpus,
+        "serial_cells_per_sec": round(serial_cps, 3),
         "workers": {
             "1": {"seconds": round(t_serial, 3),
                   "cells_per_sec": round(serial_cps, 3)},
-            str(PARALLEL_WORKERS): {"seconds": round(t_parallel, 3),
-                                    "cells_per_sec": round(parallel_cps,
-                                                           3)},
         },
-        "speedup": round(speedup, 3),
     }
+    print(f"\ncampaign throughput ({n_cells} cells, "
+          f"{spec.eval_images} images/cell, {host_cpus} CPUs):")
+    print(f"  workers=1: {t_serial:6.2f}s  ({serial_cps:.2f} cells/s)")
+
+    speedup = None
+    if parallel_capable:
+        parallel, t_parallel = timed_run(victim, spec,
+                                         workers=PARALLEL_WORKERS)
+        # Differential guard: speed must not change a single byte.
+        assert _to_json(parallel, complete=True) == _to_json(serial,
+                                                             complete=True)
+        parallel_cps = n_cells / t_parallel
+        speedup = parallel_cps / serial_cps
+        payload["workers"][str(PARALLEL_WORKERS)] = {
+            "seconds": round(t_parallel, 3),
+            "cells_per_sec": round(parallel_cps, 3),
+        }
+        payload["speedup"] = round(speedup, 3)
+        print(f"  workers={PARALLEL_WORKERS}: {t_parallel:6.2f}s  "
+              f"({parallel_cps:.2f} cells/s)  speedup {speedup:.2f}x")
+
     _atomic_write_text(BENCH_PATH, json.dumps(payload, indent=2) + "\n")
 
-    print(f"\ncampaign throughput ({n_cells} cells, "
-          f"{spec.eval_images} images/cell, {os.cpu_count()} CPUs):")
-    print(f"  workers=1: {t_serial:6.2f}s  ({serial_cps:.2f} cells/s)")
-    print(f"  workers={PARALLEL_WORKERS}: {t_parallel:6.2f}s  "
-          f"({parallel_cps:.2f} cells/s)  speedup {speedup:.2f}x")
-
-    if (os.cpu_count() or 1) >= PARALLEL_WORKERS:
+    if parallel_capable:
         assert speedup >= 2.0, \
             f"parallel campaign only {speedup:.2f}x on a " \
-            f"{os.cpu_count()}-core host (floor: 2x)"
+            f"{host_cpus}-core host (floor: 2x)"
     else:
-        pytest.skip(f"only {os.cpu_count()} CPU(s): recorded throughput "
-                    "without arming the speedup floor")
+        pytest.skip(f"only {host_cpus} CPU(s): recorded serial throughput "
+                    "without the parallel comparison")

@@ -1,0 +1,56 @@
+"""Engine hot-path throughput with committed regression floors.
+
+Runs :func:`repro.bench.bench_engine` (per-layer injection throughput,
+PDN ticks/sec, single campaign-cell latency) and compares it against
+the floors committed in ``BENCH_engine.json`` at the repo root: a code
+change that silently slows the injection path below 25% of the recorded
+throughput (or inflates cell latency past 4x) fails CI.
+
+The file is then rewritten with the fresh measurements; the floors
+themselves are sticky — they are only derived (measured * 0.25) when
+absent, so a fast host does not ratchet them out of reach of a slow
+one.
+"""
+
+import json
+from pathlib import Path
+
+from repro.bench import bench_engine, derive_floors
+from repro.core.campaign import _atomic_write_text
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_engine.json"
+
+
+def test_engine_hotpath_throughput():
+    payload = bench_engine()
+
+    committed = {}
+    if BENCH_PATH.exists():
+        committed = json.loads(BENCH_PATH.read_text())
+    floors = committed.get("floors") or derive_floors(payload)
+
+    print(f"\nengine hot path (floors from "
+          f"{'committed file' if committed.get('floors') else 'this run'}):")
+    for name, row in payload["injection"].items():
+        floor = floors["injection_ops_per_sec"].get(name)
+        print(f"  {name:6s} {row['ops_per_sec'] / 1e6:8.2f} Mops/s  "
+              f"(floor {0 if floor is None else floor / 1e6:.2f})")
+        if floor is not None:
+            assert row["ops_per_sec"] >= floor, \
+                f"{name} injection throughput {row['ops_per_sec']:.0f} " \
+                f"ops/s under the committed floor {floor:.0f}"
+    pdn = payload["pdn"]
+    print(f"  pdn    {pdn['ticks_per_sec'] / 1e6:8.2f} Mticks/s "
+          f"(floor {floors['pdn_ticks_per_sec'] / 1e6:.2f})")
+    assert pdn["ticks_per_sec"] >= floors["pdn_ticks_per_sec"], \
+        f"PDN simulate {pdn['ticks_per_sec']:.0f} ticks/s under the " \
+        f"committed floor {floors['pdn_ticks_per_sec']:.0f}"
+    cell = payload["cell"]
+    print(f"  cell   {cell['seconds']:8.3f} s       "
+          f"(ceiling {floors['cell_seconds_max']:.3f})")
+    assert cell["seconds"] <= floors["cell_seconds_max"], \
+        f"campaign cell took {cell['seconds']:.3f}s, past the committed " \
+        f"ceiling {floors['cell_seconds_max']:.3f}s"
+
+    payload["floors"] = floors
+    _atomic_write_text(BENCH_PATH, json.dumps(payload, indent=2) + "\n")

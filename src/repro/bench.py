@@ -1,0 +1,158 @@
+"""Engine hot-path micro-benchmarks.
+
+Measures the three components the attack simulator spends its time in
+(see docs/performance.md for the hot-path anatomy):
+
+* **injection** — per-layer fault-injection throughput: every cycle of
+  one layer struck at a fixed deep-droop voltage, measured as exposed
+  MAC/pool decisions per second through the full
+  ``predict_under_attack`` path;
+* **pdn** — vectorized :meth:`PowerDistributionNetwork.simulate`
+  throughput in ticks per second over a long mixed trace;
+* **cell** — end-to-end latency of one campaign cell (plan + execute
+  ``conv2`` at 4500 strikes over 120 images), the unit the campaign
+  executor parallelizes over.
+
+``benchmarks/test_engine_hotpath.py`` runs these against the regression
+floors committed in ``BENCH_engine.json``; ``python -m repro bench``
+runs them ad hoc.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+import numpy as np
+
+from .config import SimulationConfig, default_config
+
+__all__ = ["BENCH_VOLTAGE", "bench_engine"]
+
+#: Strike voltage for the injection benches: deep enough droop that the
+#: faulted tail is dense (the expensive regime), matching the rail the
+#: full-size striker bank reaches.
+BENCH_VOLTAGE = 0.93
+
+#: Fraction of a measured throughput a regression may keep (floors are
+#: measured * this when first recorded).
+FLOOR_FRACTION = 0.25
+
+
+def _best_of(repeats: int, fn) -> float:
+    """Best-of-N wall time of ``fn()`` (min is the standard noise
+    rejection for micro-benches on a shared host)."""
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_injection(engine, images: np.ndarray,
+                    repeats: int = 3) -> Dict[str, dict]:
+    """Per-layer injection throughput: all cycles struck at
+    :data:`BENCH_VOLTAGE`, reported as exposed decisions per second."""
+    from .accel import StruckCycles
+
+    out: Dict[str, dict] = {}
+    for plan in engine.plans:
+        if plan.kind not in ("conv", "dense", "pool"):
+            continue
+        cycles = np.arange(plan.cycles)
+        strikes = [StruckCycles(plan.name, cycles,
+                                np.full(plan.cycles, BENCH_VOLTAGE))]
+        elapsed = _best_of(
+            repeats,
+            lambda s=strikes: engine.predict_under_attack(images, s),
+        )
+        decisions = int(plan.ops) * int(images.shape[0])
+        out[plan.name] = {
+            "kind": plan.kind,
+            "exposed_ops": int(plan.ops),
+            "images": int(images.shape[0]),
+            "seconds": round(elapsed, 4),
+            "ops_per_sec": round(decisions / elapsed, 1),
+        }
+    return out
+
+
+def bench_pdn(config: SimulationConfig, ticks: int = 2_000_000,
+              repeats: int = 3) -> dict:
+    """Vectorized PDN throughput over a mixed idle/strike current trace."""
+    from .fpga.pdn import PowerDistributionNetwork
+
+    dt = config.clock.sim_dt
+    pdn = PowerDistributionNetwork(config.pdn, dt, rng=None)
+    # Bursty square-ish load: exercises both transient and settled code.
+    t = np.arange(ticks)
+    trace = 0.05 + 0.45 * ((t // 500) % 2).astype(np.float64)
+    pdn.reset()
+    elapsed = _best_of(repeats, lambda: pdn.simulate(trace))
+    return {
+        "ticks": int(ticks),
+        "seconds": round(elapsed, 4),
+        "ticks_per_sec": round(ticks / elapsed, 1),
+    }
+
+
+def bench_cell(attack, images: np.ndarray, labels: np.ndarray,
+               layer: str = "conv2", strikes: int = 4500) -> dict:
+    """End-to-end latency of one campaign cell (plan + execute)."""
+    start = time.perf_counter()
+    plan = attack.plan_for_layer(layer, strikes)
+    outcome = attack.execute(images, labels, plan)
+    elapsed = time.perf_counter() - start
+    return {
+        "layer": layer,
+        "strikes": int(strikes),
+        "images": int(images.shape[0]),
+        "seconds": round(elapsed, 4),
+        "accuracy_drop": round(outcome.accuracy_drop, 4),
+    }
+
+
+def bench_engine(images: int = 64, repeats: int = 3, seed: int = 7,
+                 pdn_ticks: int = 2_000_000,
+                 config: Optional[SimulationConfig] = None) -> dict:
+    """Run the full engine hot-path bench; returns the payload that
+    ``BENCH_engine.json`` persists (sans floors, which the regression
+    test manages)."""
+    from .accel import AcceleratorEngine
+    from .core import DeepStrike
+    from .zoo import get_pretrained
+
+    config = config or default_config()
+    victim = get_pretrained()
+    engine = AcceleratorEngine(victim.quantized, config=config,
+                               rng=np.random.default_rng(seed))
+    attack = DeepStrike(engine, rng=np.random.default_rng(seed + 1))
+    eval_images = victim.dataset.test_images[:images]
+    cell_images = victim.dataset.test_images[:120]
+    cell_labels = victim.dataset.test_labels[:120]
+    return {
+        "bench": "engine-hotpath",
+        "strike_voltage": BENCH_VOLTAGE,
+        "injection": bench_injection(engine, eval_images, repeats=repeats),
+        "pdn": bench_pdn(config, ticks=pdn_ticks, repeats=repeats),
+        "cell": bench_cell(attack, cell_images, cell_labels),
+    }
+
+
+def derive_floors(payload: dict) -> dict:
+    """Initial regression floors from a fresh measurement: throughput
+    floors at :data:`FLOOR_FRACTION` of measured, latency ceiling at
+    the reciprocal multiple."""
+    return {
+        "injection_ops_per_sec": {
+            name: round(row["ops_per_sec"] * FLOOR_FRACTION, 1)
+            for name, row in payload["injection"].items()
+        },
+        "pdn_ticks_per_sec": round(
+            payload["pdn"]["ticks_per_sec"] * FLOOR_FRACTION, 1
+        ),
+        "cell_seconds_max": round(
+            payload["cell"]["seconds"] / FLOOR_FRACTION, 4
+        ),
+    }

@@ -10,6 +10,7 @@ Subcommands::
     python -m repro scan            # DRC + bitstream scan of attack RTL
     python -m repro report          # regenerate headline results -> markdown
     python -m repro defend          # detection study + arms race -> JSON
+    python -m repro bench           # engine hot-path micro-benchmarks
 """
 
 from __future__ import annotations
@@ -118,6 +119,18 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run only the arms race")
     defend.add_argument("--tmr", action="store_true",
                         help="add a TMR-final-FC defense arm")
+
+    bench = sub.add_parser("bench",
+                           help="engine hot-path micro-benchmarks "
+                                "(injection, PDN, cell latency)")
+    bench.add_argument("-o", "--output", default=None, metavar="JSON",
+                       help="also write the payload as JSON here")
+    bench.add_argument("--images", type=int, default=64,
+                       help="batch size for the injection benches")
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="best-of-N timing repeats")
+    bench.add_argument("--pdn-ticks", type=int, default=2_000_000,
+                       help="trace length for the PDN bench")
     return parser
 
 
@@ -427,6 +440,31 @@ def _cmd_defend(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    import json
+
+    from .bench import bench_engine
+    from .core.campaign import _atomic_write_text
+
+    payload = bench_engine(images=args.images, repeats=args.repeats,
+                           pdn_ticks=args.pdn_ticks)
+    print(fixed_table(
+        ["layer", "kind", "ops", "seconds", "ops/sec"],
+        [[name, row["kind"], row["exposed_ops"], row["seconds"],
+          row["ops_per_sec"]] for name, row in payload["injection"].items()],
+    ))
+    pdn = payload["pdn"]
+    print(f"\nPDN simulate: {pdn['ticks']} ticks in {pdn['seconds']}s "
+          f"= {pdn['ticks_per_sec'] / 1e6:.2f} Mticks/s")
+    cell = payload["cell"]
+    print(f"campaign cell ({cell['layer']} x{cell['strikes']}, "
+          f"{cell['images']} images): {cell['seconds']}s")
+    if args.output:
+        _atomic_write_text(args.output, json.dumps(payload, indent=2) + "\n")
+        print(f"bench payload written to {args.output}")
+    return 0
+
+
 _COMMANDS = {
     "train": _cmd_train,
     "summary": _cmd_summary,
@@ -437,6 +475,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "campaign": _cmd_campaign,
     "defend": _cmd_defend,
+    "bench": _cmd_bench,
 }
 
 

@@ -263,6 +263,11 @@ class AcceleratorConfig:
     bram_current_per_access: float = ua(200.0)
     activity_jitter: float = 0.18  # cycle-to-cycle activity modulation
     interlayer_stall_cycles: int = 400
+    #: Images per batch in accuracy_under_attack when the caller does not
+    #: pass an explicit batch_size.  Part of the batched RNG stream
+    #: contract (docs/performance.md): changing it changes where batch
+    #: boundaries fall and therefore the sampled fault outcomes.
+    eval_batch_size: int = 64
 
     def validate(self) -> None:
         for name in ("conv_lanes", "fc_lanes", "pool_lanes"):
@@ -270,6 +275,8 @@ class AcceleratorConfig:
                 raise ConfigError(f"{name} must be >= 1")
         if self.interlayer_stall_cycles < 0:
             raise ConfigError("interlayer_stall_cycles must be >= 0")
+        if self.eval_batch_size < 1:
+            raise ConfigError("eval_batch_size must be >= 1")
 
 
 @dataclass(frozen=True)

@@ -87,6 +87,9 @@ class DeepStrike:
         self._strike_current = effective_bank_current(
             bank_cells, self._cell, self.config.pdn
         )
+        # Deterministic (rng=None) inference current trace; identical
+        # for every plan against this schedule, so priced once.
+        self._trace_cache: Optional[np.ndarray] = None
 
     # -- step 1: profiling ----------------------------------------------------------
 
@@ -211,26 +214,40 @@ class DeepStrike:
         """
         cycles = np.asarray(absolute_cycles, dtype=np.int64)
         tpc = self.config.clock.ticks_per_victim_cycle
-        current = inference_current_trace(
-            self.engine.schedule, self.config.accel, self.config.clock,
-            rng=None,
-        )
+        current = self._base_current_trace()
         if extra_current is not None:
             extra = np.asarray(extra_current, dtype=np.float64)
             n = min(extra.shape[0], current.shape[0])
             current[:n] += extra[:n]
-        for c in cycles:
-            for w in range(strike_cycles):
-                start = (c + w) * tpc
-                current[start:start + tpc] += self._strike_current
+        # Struck victim cycles -> the ticks they span; overlapping
+        # strike windows stack, exactly like the per-cycle += loop did.
+        span = cycles[:, None] + np.arange(strike_cycles, dtype=np.int64)
+        ticks = (span.reshape(-1, 1) * tpc
+                 + np.arange(tpc, dtype=np.int64)).reshape(-1)
+        valid = (ticks >= 0) & (ticks < current.shape[0])
+        np.add.at(current, ticks[valid], self._strike_current)
         pdn = PowerDistributionNetwork(self.config.pdn,
                                        dt=self.config.clock.sim_dt, rng=None)
         pdn.settle(STALL_CURRENT)
         volts = pdn.simulate(current)
-        out = np.empty(cycles.shape[0], dtype=np.float64)
-        for k, c in enumerate(cycles):
-            out[k] = volts[c * tpc:(c + strike_cycles) * tpc].min()
-        return out
+        # Per-cycle minima, padded with +inf past the trace end so the
+        # gather below clips instead of wrapping.
+        n_full = volts.shape[0] // tpc
+        mins = volts[:n_full * tpc].reshape(n_full, tpc).min(axis=1)
+        if volts.shape[0] % tpc:
+            mins = np.append(mins, volts[n_full * tpc:].min())
+        padded = np.append(mins, np.inf)
+        clipped = np.minimum(span, mins.shape[0])
+        return padded[clipped].min(axis=1)
+
+    def _base_current_trace(self) -> np.ndarray:
+        """A private copy of the deterministic inference current trace."""
+        if self._trace_cache is None:
+            self._trace_cache = inference_current_trace(
+                self.engine.schedule, self.config.accel, self.config.clock,
+                rng=None,
+            )
+        return self._trace_cache.copy()
 
     def plan_under_background(self, plan: AttackPlan,
                               background: BackgroundActivity,
@@ -287,26 +304,57 @@ class DeepStrike:
 
     # -- step 3: execution ----------------------------------------------------------
 
+    def clean_predictions(self, images: np.ndarray) -> np.ndarray:
+        """Clean top-1 predictions from the engine's cached forward pass.
+
+        Identical to ``engine.predict_clean`` (dequantization is a
+        positive power-of-two scale, so the argmax is unchanged) but
+        shares the stage-code cache with :meth:`execute`, letting a
+        campaign price its clean baseline without an extra forward pass.
+        """
+        codes = self.engine.clean_stage_codes(images)[-1]
+        return np.argmax(self.engine._dequantize_scores(codes), axis=1)
+
     def execute(self, images: np.ndarray, labels: np.ndarray,
-                plan: AttackPlan, batch_size: int = 64,
-                engine: Optional[AcceleratorEngine] = None) -> AttackOutcome:
+                plan: AttackPlan, batch_size: Optional[int] = None,
+                engine: Optional[AcceleratorEngine] = None,
+                clean_accuracy: Optional[float] = None) -> AttackOutcome:
         """Run attacked inference over a test set and measure accuracy.
 
         ``engine`` executes the plan against a different victim engine —
         e.g. a :class:`~repro.defense.HardenedAcceleratorEngine` in the
         arms-race study — while the plan itself stays priced against the
         planning engine's schedule (the two must share a model).
+        ``clean_accuracy`` supplies an already measured clean baseline
+        (campaigns measure it once for all cells).
         """
         victim = engine if engine is not None else self.engine
-        clean = (victim.predict_clean(images) == labels).mean()
+        # The stage-code fast path rides on the base injection loop;
+        # engines that override it (the hardened runtime) recompute
+        # their own forward pass.
+        reuses_clean_codes = (
+            type(victim).infer_under_attack
+            is AcceleratorEngine.infer_under_attack
+        )
+        stage_codes = victim.clean_stage_codes(images) \
+            if reuses_clean_codes else None
+        if clean_accuracy is None:
+            if stage_codes is not None:
+                preds = np.argmax(
+                    victim._dequantize_scores(stage_codes[-1]), axis=1
+                )
+            else:
+                preds = victim.predict_clean(images)
+            clean_accuracy = float((preds == labels).mean())
         attacked = victim.accuracy_under_attack(
-            images, labels, plan.struck, batch_size=batch_size
+            images, labels, plan.struck, batch_size=batch_size,
+            stage_codes=stage_codes,
         )
         return AttackOutcome(
             target_layer=plan.target_layer,
             n_strikes=plan.n_strikes_requested,
             strikes_landed=plan.strikes_landed,
-            clean_accuracy=float(clean),
+            clean_accuracy=float(clean_accuracy),
             attacked_accuracy=float(attacked),
             mean_strike_voltage=plan.mean_strike_voltage(),
         )

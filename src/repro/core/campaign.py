@@ -157,14 +157,17 @@ _BLIND_SEED_SALT = 0x9E3779B9
 
 def _execute_cell(attack: DeepStrike, blind_box: Dict[str, BlindAttack],
                   images: np.ndarray, labels: np.ndarray,
-                  base_seed: int, target: str, count: int) -> AttackOutcome:
+                  base_seed: int, target: str, count: int,
+                  clean: Optional[float] = None) -> AttackOutcome:
     """Run one ``(target, count)`` cell under its derived RNG stream.
 
     The single source of truth for cell execution: the serial loop and
     every parallel worker (:mod:`repro.core.executor`) call exactly this
     function, which is what makes a ``workers=N`` campaign byte-identical
     to the serial run.  ``blind_box`` caches the lazily built
-    :class:`BlindAttack` across calls (one per process).
+    :class:`BlindAttack` across calls (one per process); ``clean`` is the
+    campaign-level clean-accuracy baseline, measured once and shared so
+    cells skip the per-cell clean forward pass.
     """
     seed = _cell_seed(base_seed, target, count)
     _reseed(attack.engine.rng, seed)
@@ -175,9 +178,10 @@ def _execute_cell(attack: DeepStrike, blind_box: Dict[str, BlindAttack],
                                 rng=np.random.default_rng(0))
             blind_box[BLIND_TARGET] = blind
         _reseed(blind.rng, seed ^ _BLIND_SEED_SALT)
-        return blind.execute(images, labels, blind.plan_random(count))
+        return blind.execute(images, labels, blind.plan_random(count),
+                             clean_accuracy=clean)
     plan = attack.plan_for_layer(target, count)
-    return attack.execute(images, labels, plan)
+    return attack.execute(images, labels, plan, clean_accuracy=clean)
 
 
 def _assemble(spec: CampaignSpec, clean: float,
@@ -276,9 +280,9 @@ def run_campaign(attack: DeepStrike, images: np.ndarray,
     labels = labels[:n]
 
     if clean is None:
-        clean = float(
-            (attack.engine.predict_clean(images) == labels).mean()
-        )
+        # clean_predictions shares the engine's cached clean forward
+        # pass with every subsequent cell evaluation on these images.
+        clean = float((attack.clean_predictions(images) == labels).mean())
 
     if workers > 1:
         from .executor import WorkerRecipe, run_parallel
@@ -299,7 +303,7 @@ def run_campaign(attack: DeepStrike, images: np.ndarray,
                 before_cell(target, count)
             outcomes[(target, count)] = _execute_cell(
                 attack, blind_box, images, labels, plan_spec.seed,
-                target, count,
+                target, count, clean=clean,
             )
         except ReproError as exc:
             failures[(target, count)] = CellFailure(

@@ -104,13 +104,16 @@ class _WorkerState:
     blind_box: dict
     images: np.ndarray
     labels: np.ndarray
+    #: Campaign-level clean-accuracy baseline (measured once in the
+    #: submitting process; workers reuse it instead of re-measuring).
+    clean: Optional[float] = None
 
 
 _STATE: Optional[_WorkerState] = None
 
 
 def _init_worker(recipe: WorkerRecipe, images: np.ndarray,
-                 labels: np.ndarray) -> None:
+                 labels: np.ndarray, clean: Optional[float] = None) -> None:
     """Build this worker's attack stack from the recipe (runs once per
     process).  The RNG seeds here are irrelevant: every cell reseeds the
     engine stream from its blake2s-derived cell seed before executing.
@@ -125,7 +128,7 @@ def _init_worker(recipe: WorkerRecipe, images: np.ndarray,
     attack = DeepStrike(engine, bank_cells=recipe.bank_cells,
                         rng=np.random.default_rng(0))
     _STATE = _WorkerState(attack=attack, blind_box={},
-                          images=images, labels=labels)
+                          images=images, labels=labels, clean=clean)
 
 
 def _worker_cell(target: str, count: int, base_seed: int):
@@ -141,7 +144,8 @@ def _worker_cell(target: str, count: int, base_seed: int):
         raise RuntimeError("campaign worker used before initialization")
     try:
         outcome = _execute_cell(state.attack, state.blind_box, state.images,
-                                state.labels, base_seed, target, count)
+                                state.labels, base_seed, target, count,
+                                clean=state.clean)
         return "outcome", outcome
     except ReproError as exc:
         return "failure", CellFailure(
@@ -196,7 +200,7 @@ def run_parallel(recipe: WorkerRecipe, images: np.ndarray,
     )
     pool = ProcessPoolExecutor(max_workers=n_workers, mp_context=ctx,
                                initializer=_init_worker,
-                               initargs=(recipe, images, labels))
+                               initargs=(recipe, images, labels, clean))
     try:
         futures: Dict[object, Tuple[str, int]] = {}
         for target, count in pending:

@@ -103,6 +103,53 @@ class TimingFaultModel:
         p_dup = p_fault * self.duplication_fraction(voltage)
         return (1.0 - p_fault, p_dup, p_fault - p_dup)
 
+    def fault_probabilities(self, voltages: np.ndarray,
+                            noise_sigma: float = 0.0,
+                            noise_nodes: int = 24,
+                            tail_nodes: int = 24
+                            ) -> Tuple[np.ndarray, np.ndarray]:
+        """Noise-marginalized ``(P(fault), P(duplication | fault))``.
+
+        Per entry of ``voltages``, the marginal outcome distribution of
+        :meth:`decide_stream` evaluated at ``v + eps`` with gaussian
+        supply noise ``eps ~ N(0, noise_sigma)``: the noise is integrated
+        out by Gauss-Hermite quadrature, and the duplication fraction of
+        the faulted excitation tail by Gauss-Legendre.  This is the
+        injection hot path's workhorse (see docs/performance.md): per-op
+        decisions collapse to two uniform draws against these per-cycle
+        probabilities, with no per-op path-delay evaluation at all.
+        """
+        cfg = self.config
+        v = np.asarray(voltages, dtype=np.float64)
+        uniq, inverse = np.unique(v, return_inverse=True)
+        if noise_sigma > 0.0:
+            eps, w_eps = np.polynomial.hermite_e.hermegauss(noise_nodes)
+            w_eps = w_eps / w_eps.sum()
+            ve = uniq[:, None] + noise_sigma * eps[None, :]
+        else:
+            ve = uniq[:, None]
+            w_eps = np.ones(1)
+        full_delay = np.asarray(self.timing.path_delay(ve))
+        t = (cfg.ddr_period / full_delay - cfg.excitation_base) \
+            / cfg.excitation_span
+        q = np.clip(1.0 - t, 0.0, 1.0)
+        fault = q ** cfg.excitation_shape  # P(fault | eps)
+        # P(dup | fault, eps): average exp(-depth/tau) over the faulted
+        # tail, parameterized as in decide_stream by u = q**shape * s
+        # with s ~ U(0, 1), so x = 1 - q * s**(1/shape).
+        s, w_s = np.polynomial.legendre.leggauss(tail_nodes)
+        s = 0.5 * (s + 1.0)
+        w_s = 0.5 * w_s
+        x = 1.0 - q[..., None] * s ** (1.0 / cfg.excitation_shape)
+        depth = full_delay[..., None] \
+            * (cfg.excitation_base + cfg.excitation_span * x) - cfg.ddr_period
+        dup = (np.exp(-np.maximum(depth, 0.0) / cfg.duplication_decay)
+               * w_s).sum(axis=-1)
+        p_fault = (fault * w_eps).sum(axis=-1)
+        p_dup = (fault * dup * w_eps).sum(axis=-1) \
+            / np.maximum(p_fault, 1e-300)
+        return p_fault[inverse], p_dup[inverse]
+
     # -- sampling ----------------------------------------------------------
 
     def _violations(self, voltages: np.ndarray) -> np.ndarray:
@@ -133,6 +180,47 @@ class TimingFaultModel:
         out = np.zeros(v.shape, dtype=np.int8)
         out[faulted] = FaultType.RANDOM
         out[dup] = FaultType.DUPLICATION
+        return out
+
+    def decide_stream(self, voltages: np.ndarray) -> np.ndarray:
+        """Batched per-op outcomes, optimized for the injection hot path.
+
+        Distributionally identical to :meth:`decide_array` but much
+        cheaper: the ``Beta(1, shape)`` excitation is sampled by inverse
+        CDF from a single uniform (``x = 1 - u**(1/shape)``), so the
+        fault test collapses to ``u < (1 - t)**shape`` against the
+        analytic excitation threshold ``t``, and the violation depth —
+        hence the duplication/random split — is only evaluated on the
+        (typically sparse) faulted tail.
+
+        Consumes ``random(n)`` then ``random(n_faulted)`` from the
+        generator; this draw order is part of the batched RNG stream
+        contract pinned in docs/performance.md.
+        """
+        cfg = self.config
+        v = np.asarray(voltages, dtype=np.float64)
+        n = v.shape[0]
+        out = np.zeros(n, dtype=np.int8)
+        u = self.rng.random(n)
+        if n == 0:
+            return out
+        full_delay = np.asarray(self.timing.path_delay(v))
+        t = (cfg.ddr_period / full_delay - cfg.excitation_base) \
+            / cfg.excitation_span
+        q = np.clip(1.0 - t, 0.0, 1.0)
+        faulted = u < q ** cfg.excitation_shape
+        n_faulted = int(np.count_nonzero(faulted))
+        if n_faulted == 0:
+            return out
+        # Inverse-CDF excitation of the faulted tail: conditioned on
+        # u < q**shape, x = 1 - u**(1/shape) is Beta(1, shape) given x > t.
+        x = 1.0 - u[faulted] ** (1.0 / cfg.excitation_shape)
+        d = full_delay[faulted] \
+            * (cfg.excitation_base + cfg.excitation_span * x) - cfg.ddr_period
+        p_dup = np.exp(-np.maximum(d, 0.0) / cfg.duplication_decay)
+        dup = self.rng.random(n_faulted) < p_dup
+        out[faulted] = np.where(dup, np.int8(FaultType.DUPLICATION),
+                                np.int8(FaultType.RANDOM))
         return out
 
     # -- diagnostics ----------------------------------------------------------

@@ -20,6 +20,12 @@ from typing import Optional
 
 import numpy as np
 
+try:  # pragma: no cover - exercised implicitly by the fast path
+    from scipy.signal import lfilter, lfiltic
+    _HAVE_SCIPY = True
+except ImportError:  # pragma: no cover - scipy ships with the toolchain
+    _HAVE_SCIPY = False
+
 from ..config import PDNConfig
 from ..errors import SimulationError
 
@@ -109,17 +115,88 @@ class PowerDistributionNetwork:
         Starts from the *current* state (call :meth:`reset` first for a
         settled start) and leaves the state at the end of the trace, so a
         simulate() call is equivalent to the same sequence of step() calls.
+
+        Internally evaluated as two closed-form linear recurrences
+        (``scipy.signal.lfilter``) instead of a per-tick Python loop;
+        :meth:`step` is the reference implementation the fast path is
+        pinned against (``tests/fpga/test_pdn.py`` and the hypothesis
+        property suite) to float64 resolution.  Without scipy the loop
+        fallback :meth:`_simulate_loop` runs instead.
         """
         currents = np.asarray(load_current, dtype=np.float64)
         if currents.ndim != 1:
             raise SimulationError("load_current must be a 1-D trace")
+        if currents.shape[0] == 0:
+            return np.empty(0, dtype=np.float64)
         if np.any(currents < 0):
             raise SimulationError("negative load current in trace")
         cfg = self.config
-        n = currents.shape[0]
-        volts = np.empty(n, dtype=np.float64)
         i_total = currents + cfg.idle_current
+        if _HAVE_SCIPY:
+            volts = self._simulate_lfilter(i_total)
+        else:
+            volts = self._simulate_loop(i_total)
+        if self.rng is not None and cfg.noise_sigma_v > 0:
+            volts += self.rng.normal(0.0, cfg.noise_sigma_v,
+                                     size=volts.shape[0])
+        self._last_v = float(volts[-1])
+        return volts
 
+    def _simulate_lfilter(self, i_total: np.ndarray) -> np.ndarray:
+        """Vectorized trace evaluation via linear-recurrence filters.
+
+        The semi-implicit Euler update of :meth:`_advance` is the linear
+        state recurrence ``s[k+1] = A s[k] + B i[k]`` with state
+        ``s = (y_res, y_res_vel)``; the resonant droop read at tick ``k``
+        is ``y[k] = C s[k+1]``.  Eliminating the velocity gives a direct
+        second-order recurrence in ``y`` whose transfer function is
+        ``(B0 + (a12*B1 - a22*B0) z^-1) / (1 - tr(A) z^-1 + det(A) z^-2)``
+        — evaluated by ``lfilter`` with initial conditions synthesized
+        from the live ``(y, vel)`` state (``y[-1] = y0`` and
+        ``y[-2] = C A^-1 s0``, the output one virtual step back).  The
+        prompt one-pole term is a first-order ``lfilter`` the same way.
+        """
+        cfg = self.config
+        n = i_total.shape[0]
+        dt, wn = self.dt, self._omega_n
+        g = 2.0 * cfg.damping_ratio * wn
+        wn2 = wn * wn
+        # State matrix of the semi-implicit Euler step.
+        a11 = 1.0 - dt * dt * wn2
+        a12 = dt * (1.0 - dt * g)
+        a21 = -dt * wn2
+        a22 = 1.0 - dt * g
+        b0 = dt * dt * wn2 * cfg.r_resonant
+        b1 = dt * wn2 * cfg.r_resonant
+        trace = a11 + a22
+        det = a11 * a22 - a12 * a21
+        num = [b0, a12 * b1 - a22 * b0]
+        den = [1.0, -trace, det]
+        y0, vel0 = self._y_res, self._y_res_vel
+        y_before = [y0, (a22 * y0 - a12 * vel0) / det]
+        zi = lfiltic(num, den, y_before, [0.0, 0.0])
+        y, _ = lfilter(num, den, i_total, zi=zi)
+
+        alpha = self._alpha_prompt
+        zp = lfiltic([alpha * cfg.r_prompt], [1.0, -(1.0 - alpha)],
+                     [self._y_prompt])
+        yp, _ = lfilter([alpha * cfg.r_prompt], [1.0, -(1.0 - alpha)],
+                        i_total, zi=zp)
+
+        volts = cfg.v_nominal - y - yp - cfg.r_static * i_total
+        # Recover the final state: y[k] = y[k-1] + dt*vel[k].
+        y_last = float(y[-1])
+        y_prev = float(y[-2]) if n >= 2 else y0
+        self._y_res = y_last
+        self._y_res_vel = (y_last - y_prev) / dt
+        self._y_prompt = float(yp[-1])
+        return volts
+
+    def _simulate_loop(self, i_total: np.ndarray) -> np.ndarray:
+        """Reference scalar evaluation (identical to repeated _advance)."""
+        cfg = self.config
+        n = i_total.shape[0]
+        volts = np.empty(n, dtype=np.float64)
         zeta, omega_n, dt = cfg.damping_ratio, self._omega_n, self.dt
         alpha = self._alpha_prompt
         y, vel, yp = self._y_res, self._y_res_vel, self._y_prompt
@@ -133,10 +210,6 @@ class PowerDistributionNetwork:
             yp += alpha * (r_prompt * i_k - yp)
             volts[k] = cfg.v_nominal - y - yp - cfg.r_static * i_k
         self._y_res, self._y_res_vel, self._y_prompt = y, vel, yp
-
-        if self.rng is not None and cfg.noise_sigma_v > 0:
-            volts += self.rng.normal(0.0, cfg.noise_sigma_v, size=n)
-        self._last_v = float(volts[-1])
         return volts
 
     # -- analysis helpers -----------------------------------------------------

@@ -179,6 +179,51 @@ class TestInjection:
         assert len({tuple(np.round(row, 6)) for row in out}) > 1
 
 
+class TestExposedOps:
+    """Unit contract of the vectorized exposure enumeration."""
+
+    @staticmethod
+    def _toy_plan():
+        # ops=10, lanes=4 -> 3 cycles with a partial (2-op) final cycle.
+        from repro.accel.mapper import LayerPlan
+
+        return LayerPlan(name="toy", kind="dense", stage_index=0,
+                         in_shape=(5,), out_shape=(2,), ops=10, lanes=4)
+
+    def test_empty_cycle_set_yields_empty_arrays(self, lenet_engine):
+        entry = StruckCycles("toy", np.empty(0, dtype=np.int64),
+                             np.empty(0))
+        ops, volts = lenet_engine._exposed_ops(self._toy_plan(), entry)
+        assert ops.shape == (0,) and ops.dtype == np.int64
+        assert volts.shape == (0,) and volts.dtype == np.float64
+
+    def test_matches_ops_at_cycle_reference(self, lenet_engine):
+        plan = self._toy_plan()
+        # Repeated and out-of-order cycles, including the partial final
+        # one: order and multiplicity must match the per-cycle reference.
+        cycles = np.array([2, 0, 2, 1])
+        entry = StruckCycles("toy", cycles,
+                             np.array([0.90, 0.91, 0.92, 0.93]))
+        ops, volts = lenet_engine._exposed_ops(plan, entry)
+        ref_ops, ref_volts = [], []
+        for c, v in zip(cycles, entry.voltages):
+            start, end = plan.ops_at_cycle(int(c))
+            ref_ops.extend(range(start, end))
+            ref_volts.extend([v] * (end - start))
+        np.testing.assert_array_equal(ops, ref_ops)
+        np.testing.assert_array_equal(volts, ref_volts)
+
+    def test_out_of_range_cycle_rejected(self, lenet_engine):
+        entry = StruckCycles("toy", np.array([0, 3]), np.array([0.9, 0.9]))
+        with pytest.raises(ConfigError, match=r"cycle 3 outside \[0, 3\)"):
+            lenet_engine._exposed_ops(self._toy_plan(), entry)
+
+    def test_negative_cycle_rejected(self, lenet_engine):
+        entry = StruckCycles("toy", np.array([-1]), np.array([0.9]))
+        with pytest.raises(ConfigError, match="outside"):
+            lenet_engine._exposed_ops(self._toy_plan(), entry)
+
+
 class TestScalarCrossValidation:
     """The vectorized injector and the scalar DSP pipeline share one fault
     model; their fault *rates* on identical op streams must agree."""
