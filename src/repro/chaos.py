@@ -56,11 +56,15 @@ class ChaosSpec:
     trigger_drop_prob: float = 0.0  # per trigger edge: swallow it
     link: Optional[LinkFaultConfig] = None
     cell_failure_prob: float = 0.0  # per campaign cell: inject a failure
+    worker_kill_prob: float = 0.0   # per campaign cell: kill its worker
+    cell_hang_prob: float = 0.0     # per campaign cell: stall past its lease
+    cell_hang_s: float = 0.25       # how long a hung cell stalls
     seed: int = 0
 
     def __post_init__(self) -> None:
         for name in ("noise_burst_prob", "stuck_prob", "trigger_drop_prob",
-                     "cell_failure_prob"):
+                     "cell_failure_prob", "worker_kill_prob",
+                     "cell_hang_prob"):
             p = getattr(self, name)
             if not 0.0 <= p <= 1.0:
                 raise ConfigError(f"{name}={p} outside [0, 1]")
@@ -68,6 +72,8 @@ class ChaosSpec:
             raise ConfigError("burst/stuck lengths must be >= 1")
         if self.noise_amp < 0:
             raise ConfigError("noise_amp must be >= 0")
+        if self.cell_hang_s < 0.0:
+            raise ConfigError("cell_hang_s must be >= 0")
 
 
 #: Named severity tiers, mirroring the CLI's ``--chaos`` choices.
@@ -89,6 +95,8 @@ CHAOS_PRESETS = {
         link=LinkFaultConfig(drop=0.12, corrupt=0.1, truncate=0.05,
                              duplicate=0.05, reorder=0.05),
         cell_failure_prob=0.2,
+        worker_kill_prob=0.1,
+        cell_hang_prob=0.05, cell_hang_s=0.2,
     ),
 }
 
@@ -119,7 +127,10 @@ class ChaosInjector:
         self.spec = spec
         self.rng = rng if rng is not None else np.random.default_rng(spec.seed)
         self.stats = {"noise_bursts": 0, "stuck_runs": 0,
-                      "dropped_triggers": 0, "failed_cells": 0}
+                      "dropped_triggers": 0, "failed_cells": 0,
+                      "killed_workers": 0, "hung_cells": 0}
+        #: cell -> fault directive drawn at dispatch (None = clean cell).
+        self._cell_faults: dict = {}
         # streaming readout-filter state
         self._burst_left = 0
         self._stuck_left = 0
@@ -257,20 +268,58 @@ class ChaosInjector:
     # -- campaign hook --------------------------------------------------------
 
     def campaign_cell_hook(self, target: str, count: int) -> None:
-        """``before_cell`` hook: randomly kill a campaign cell.
+        """``before_cell`` hook: randomly fail, kill, or hang a cell.
 
-        Raises :class:`~repro.errors.ChaosError`, which ``run_campaign``
-        records as a :class:`~repro.core.campaign.CellFailure` — the
-        campaign itself must keep going.
+        A *failure* raises :class:`~repro.errors.ChaosError`, which
+        ``run_campaign`` records as a
+        :class:`~repro.core.campaign.CellFailure` — the campaign itself
+        must keep going.  *Kill* and *hang* directives are stored for
+        :meth:`cell_fault` and honoured inside the worker process
+        (:func:`repro.core.executor._apply_fault`): a kill takes the
+        whole worker down the way a segfault would, a hang stalls the
+        cell past its lease.  Both are first-attempt only, so the
+        supervisor's retry always recovers — which is the point: under
+        supervision a hostile chaos campaign must converge to the same
+        outcomes as a clean serial run.
 
         Worker-count independence: ``run_campaign`` invokes this in the
         submitting process at dispatch time, in canonical cell order,
-        for serial and parallel runs alike — so the draws below consume
-        ``self.rng`` in the same sequence and the same cells die
-        whether the campaign runs at ``workers=1`` or ``workers=N``.
+        for serial and parallel runs alike — and *every* draw for a
+        cell happens here, in a fixed order (fail, kill, hang), with
+        zero-probability draws skipped — so the RNG sequence is the
+        same whether the campaign runs at ``workers=1`` or
+        ``workers=N``, supervised or not.
         """
-        if self.rng.random() < self.spec.cell_failure_prob:
+        spec = self.spec
+        fail = bool(spec.cell_failure_prob and
+                    self.rng.random() < spec.cell_failure_prob)
+        kill = bool(spec.worker_kill_prob and
+                    self.rng.random() < spec.worker_kill_prob)
+        hang = bool(spec.cell_hang_prob and
+                    self.rng.random() < spec.cell_hang_prob)
+        directive = None
+        if kill:
+            directive = ("kill", 0)
+            self.stats["killed_workers"] += 1
+        elif hang:
+            directive = ("hang", spec.cell_hang_s)
+            self.stats["hung_cells"] += 1
+        self._cell_faults[(target, count)] = directive
+        if fail:
             self.stats["failed_cells"] += 1
             raise ChaosError(
                 f"chaos: injected failure in cell ({target}, {count})"
             )
+
+    def cell_fault(self, target: str, count: int, attempt: int = 0):
+        """Supervisor ``fault_hook``: the directive drawn for this cell.
+
+        Draws *nothing* — all randomness happened in
+        :meth:`campaign_cell_hook` at dispatch time, so dispatch order
+        and retries cannot perturb the chaos sequence.  Directives
+        apply to the first attempt only (``attempt > 0`` returns None):
+        one kill or hang per cell, then the retry succeeds.
+        """
+        if attempt:
+            return None
+        return self._cell_faults.get((target, count))

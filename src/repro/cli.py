@@ -93,6 +93,24 @@ def build_parser() -> argparse.ArgumentParser:
                           help="shard campaign cells across N worker "
                                "processes (byte-identical to the serial "
                                "run; default 1)")
+    campaign.add_argument("--max-retries", type=int, default=None,
+                          metavar="N",
+                          help="supervisor: re-dispatches allowed per cell "
+                               "after a worker crash or lease expiry "
+                               "(default from SupervisorConfig)")
+    campaign.add_argument("--cell-timeout", type=float, default=None,
+                          metavar="SECONDS",
+                          help="supervisor: per-cell lease deadline; a cell "
+                               "still running when it lapses is cancelled "
+                               "and retried (default: no lease)")
+    campaign.add_argument("--no-supervisor", action="store_true",
+                          help="run workers>1 on the raw fail-fast "
+                               "executor (a worker crash aborts the run)")
+    campaign.add_argument("--cache-dir", default=None, metavar="DIR",
+                          help="content-addressed cell-result cache: cells "
+                               "already computed for this exact recipe are "
+                               "merged from here instead of re-run, new "
+                               "ones are stored")
     campaign.add_argument("--sweep", action="append", default=None,
                           metavar="LAYER=N1,N2,...",
                           help="override the default study (repeatable; "
@@ -359,20 +377,43 @@ def _cmd_campaign(args) -> int:
                                        eval_images=args.images,
                                        seed=args.seed)
         before_cell = None
+        fault_hook = None
         if args.chaos:
             from .chaos import ChaosInjector, chaos_preset
 
             injector = ChaosInjector(chaos_preset(args.chaos,
                                                   seed=args.seed))
             before_cell = injector.campaign_cell_hook
+            fault_hook = injector.cell_fault
+        supervisor = None
+        if args.no_supervisor or args.max_retries is not None \
+                or args.cell_timeout is not None:
+            supervisor = dataclasses.replace(
+                attack.config.supervisor,
+                enabled=not args.no_supervisor,
+                **{k: v for k, v in (
+                    ("max_retries", args.max_retries),
+                    ("cell_timeout_s", args.cell_timeout),
+                ) if v is not None})
+        from .core.supervisor import SupervisorStats
+
+        stats = SupervisorStats()
         result = run_campaign(attack, victim.dataset.test_images,
                               victim.dataset.test_labels, spec,
                               checkpoint_path=args.checkpoint or args.resume,
                               resume_from=args.resume,
                               before_cell=before_cell,
-                              workers=args.workers)
+                              workers=args.workers,
+                              cache=args.cache_dir,
+                              supervisor=supervisor,
+                              fault_hook=fault_hook,
+                              stats=stats)
         save_campaign(result, args.output)
         print(f"campaign written to {args.output}")
+        interesting = {k: v for k, v in stats.describe().items() if v}
+        if interesting:
+            print("supervisor: " + ", ".join(
+                f"{k}={v}" for k, v in sorted(interesting.items())))
     print(f"clean accuracy: {result.clean_accuracy:.4f}")
     print(sweep_to_rows(result.sweeps))
     print(f"most sensitive target: {result.most_sensitive_target()}")

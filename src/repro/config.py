@@ -17,7 +17,7 @@ Defaults are calibrated so the paper's *shapes* reproduce:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 from .errors import ConfigError
 from .units import mhz, mv, ns, ua
@@ -33,6 +33,7 @@ __all__ = [
     "ReliabilityConfig",
     "RecoveryConfig",
     "ExecutorConfig",
+    "SupervisorConfig",
     "SimulationConfig",
     "default_config",
 ]
@@ -303,6 +304,10 @@ class ReliabilityConfig:
     #: Total simulated wait budget per operation before the link is
     #: declared dead, seconds.
     op_timeout_s: float = 5.0
+    #: Fractional random jitter on every backoff wait: a wait of ``b``
+    #: becomes ``b * (1 ± backoff_jitter)``.  Decorrelates shards that
+    #: share a link fault, so they do not retry in lockstep and re-collide.
+    backoff_jitter: float = 0.1
     #: Non-conforming samples forgiven inside a detector debounce streak
     #: (0 reproduces the paper's strict purification FSM).
     detector_glitch_tolerance: int = 0
@@ -316,6 +321,8 @@ class ReliabilityConfig:
             raise ConfigError("backoff_factor must be >= 1")
         if self.op_timeout_s <= 0:
             raise ConfigError("op_timeout_s must be positive")
+        if not 0.0 <= self.backoff_jitter < 1.0:
+            raise ConfigError("backoff_jitter must be in [0, 1)")
         if self.detector_glitch_tolerance < 0:
             raise ConfigError("detector_glitch_tolerance must be >= 0")
 
@@ -411,6 +418,70 @@ class ExecutorConfig:
 
 
 @dataclass(frozen=True)
+class SupervisorConfig:
+    """Self-healing campaign supervision (docs/reliability.md §3c).
+
+    The supervisor wraps the parallel executor with lease-based
+    dispatch, bounded retries with jittered exponential backoff, poison
+    quarantine, and a degradation ladder — so a campaign survives worker
+    crashes, hung cells, and repeat offenders without a manual resume.
+    ``enabled=False`` restores the raw executor's fail-fast behaviour
+    (one pool death aborts the run with ``WorkerCrashError``).
+    """
+
+    #: Route ``workers>1`` campaigns through the supervisor.
+    enabled: bool = True
+    #: Lease deadline per dispatched cell, wall-clock seconds.  A cell
+    #: still running at its deadline is presumed hung: its pool is torn
+    #: down and the cell is retried.  ``None`` disables leases.
+    cell_timeout_s: Optional[float] = None
+    #: Re-dispatches allowed per cell after lease/crash incidents; a
+    #: cell that is still failing afterwards becomes a ``CellFailure``
+    #: instead of aborting the run.
+    max_retries: int = 3
+    #: Worker-fatal incidents attributed to one cell before it is
+    #: quarantined as ``CellFailure(kind="quarantined")``.
+    quarantine_after: int = 2
+    #: First backoff wait after an incident, wall-clock seconds.
+    backoff_base_s: float = 0.05
+    #: Multiplier applied to the wait after every further incident.
+    backoff_factor: float = 2.0
+    #: Ceiling on a single backoff wait, seconds.
+    backoff_max_s: float = 2.0
+    #: Fractional random jitter on every backoff wait (± this fraction).
+    backoff_jitter: float = 0.25
+    #: Pool deaths at a given worker count before the supervisor halves
+    #: it (the degradation ladder's first rungs).
+    degrade_after: int = 2
+    #: Total pool deaths before the supervisor abandons process pools
+    #: entirely and finishes the campaign with in-process serial
+    #: execution (the ladder's last rung — degraded, never dead).
+    serial_fallback_after: int = 6
+    #: Lease poll interval, seconds (granularity of deadline checks).
+    poll_interval_s: float = 0.05
+
+    def validate(self) -> None:
+        if self.cell_timeout_s is not None and self.cell_timeout_s <= 0:
+            raise ConfigError("cell_timeout_s must be positive (or None)")
+        if self.max_retries < 0:
+            raise ConfigError("max_retries must be >= 0")
+        if self.quarantine_after < 1:
+            raise ConfigError("quarantine_after must be >= 1")
+        if self.backoff_base_s <= 0 or self.backoff_max_s <= 0:
+            raise ConfigError("backoff waits must be positive")
+        if self.backoff_factor < 1.0:
+            raise ConfigError("backoff_factor must be >= 1")
+        if not 0.0 <= self.backoff_jitter < 1.0:
+            raise ConfigError("backoff_jitter must be in [0, 1)")
+        if self.degrade_after < 1:
+            raise ConfigError("degrade_after must be >= 1")
+        if self.serial_fallback_after < 1:
+            raise ConfigError("serial_fallback_after must be >= 1")
+        if self.poll_interval_s <= 0:
+            raise ConfigError("poll_interval_s must be positive")
+
+
+@dataclass(frozen=True)
 class SimulationConfig:
     """Bundle of all subsystem configurations plus the global RNG seed."""
 
@@ -424,6 +495,7 @@ class SimulationConfig:
     reliability: ReliabilityConfig = field(default_factory=ReliabilityConfig)
     recovery: RecoveryConfig = field(default_factory=RecoveryConfig)
     executor: ExecutorConfig = field(default_factory=ExecutorConfig)
+    supervisor: SupervisorConfig = field(default_factory=SupervisorConfig)
     seed: int = 20210705
 
     def validate(self) -> "SimulationConfig":
@@ -438,6 +510,7 @@ class SimulationConfig:
         self.reliability.validate()
         self.recovery.validate()
         self.executor.validate()
+        self.supervisor.validate()
         if self.pdn.v_nominal != self.delay.v_nominal:
             raise ConfigError(
                 "PDN and delay model disagree on nominal voltage: "

@@ -104,12 +104,22 @@ class CampaignSpec:
 
 @dataclass(frozen=True)
 class CellFailure:
-    """One isolated per-cell failure (the campaign kept going)."""
+    """One isolated per-cell failure (the campaign kept going).
+
+    ``kind`` classifies how the cell died: ``"error"`` (an in-cell
+    :class:`~repro.errors.ReproError`, the classic case), or — under the
+    self-healing supervisor — ``"quarantined"`` (the cell killed its
+    worker process ``quarantine_after`` times and was isolated) or
+    ``"timeout"`` (the cell kept overrunning its lease until its retry
+    budget ran out).  Pre-supervisor v2 checkpoints have no ``kind``
+    field and load as ``"error"``.
+    """
 
     target_layer: str
     n_strikes: int
     error_type: str
     message: str
+    kind: str = "error"
 
 
 @dataclass
@@ -215,6 +225,10 @@ def run_campaign(attack: DeepStrike, images: np.ndarray,
                  before_cell: Optional[Callable[[str, int], None]] = None,
                  workers: int = 1,
                  recipe=None,
+                 cache=None,
+                 supervisor=None,
+                 fault_hook=None,
+                 stats=None,
                  ) -> CampaignResult:
     """Execute a campaign with the given attacker.
 
@@ -252,6 +266,33 @@ def run_campaign(attack: DeepStrike, images: np.ndarray,
         bank size).  Defaults to ``WorkerRecipe.from_attack(attack)``,
         which assumes the standard ``lenet5`` zoo victim — pass an
         explicit recipe for any other victim.  Ignored at ``workers=1``.
+    cache:
+        A :class:`~repro.core.cellcache.CellCache` (or a directory path
+        for one).  Completed cells whose content address — victim
+        weights, config, bank size, evaluation slice, cell, seed — is
+        already cached are merged without recomputation; newly computed
+        cells are stored on the way out.  Cache hits preserve the
+        byte-parity contract: a warm run emits the same JSON as a cold
+        serial run.
+    supervisor:
+        A :class:`~repro.config.SupervisorConfig` overriding the
+        attack config's ``supervisor`` section.  When the effective
+        section has ``enabled=True`` (the default), ``workers>1``
+        campaigns run under the self-healing supervisor
+        (:mod:`repro.core.supervisor`): worker crashes are retried with
+        backoff, hung cells are cancelled at their lease deadline,
+        poison cells are quarantined, and repeated pool deaths degrade
+        the worker count rather than aborting.  ``enabled=False``
+        restores the raw fail-fast executor.
+    fault_hook:
+        Supervisor-only test/chaos hook ``(target, count, attempt) ->
+        directive`` consulted at each dispatch; see
+        :meth:`repro.chaos.ChaosInjector.cell_fault`.
+    stats:
+        A :class:`~repro.core.supervisor.SupervisorStats` mutated in
+        place with dispatch/retry/cache counters (works for serial runs
+        too — the dispatch counter is how zero-recompute warm-cache runs
+        are verified).
     """
     if workers < 1:
         raise ConfigError(f"workers must be >= 1, got {workers}")
@@ -284,40 +325,93 @@ def run_campaign(attack: DeepStrike, images: np.ndarray,
         # pass with every subsequent cell evaluation on these images.
         clean = float((attack.clean_predictions(images) == labels).mean())
 
-    if workers > 1:
-        from .executor import WorkerRecipe, run_parallel
+    cache_obj = None
+    digest = None
+    cached_cells: set = set()
+    if cache is not None:
+        from .cellcache import CellCache, campaign_digest
 
-        active_recipe = recipe if recipe is not None \
-            else WorkerRecipe.from_attack(attack)
-        return run_parallel(active_recipe, images, labels, plan_spec, clean,
-                            outcomes, failures, workers=workers,
-                            checkpoint_path=checkpoint_path,
-                            before_cell=before_cell)
-
-    blind_box: Dict[str, BlindAttack] = {}
-    for target, count in plan_spec.cells():
-        if (target, count) in outcomes:
-            continue
-        try:
-            if before_cell is not None:
-                before_cell(target, count)
-            outcomes[(target, count)] = _execute_cell(
-                attack, blind_box, images, labels, plan_spec.seed,
-                target, count, clean=clean,
-            )
-        except ReproError as exc:
-            failures[(target, count)] = CellFailure(
-                target_layer=target, n_strikes=count,
-                error_type=type(exc).__name__, message=str(exc),
-            )
-        finally:
+        cache_obj = cache if isinstance(cache, CellCache) else \
+            CellCache(Path(cache))
+        digest = campaign_digest(attack.config, attack.bank_cells,
+                                 attack.engine.model, images, labels)
+        hits, _ = cache_obj.lookup_cells(
+            digest,
+            [c for c in plan_spec.cells() if c not in outcomes],
+            plan_spec.seed,
+        )
+        if hits:
+            outcomes.update(hits)
+            cached_cells = set(hits)
+            if stats is not None:
+                stats.cache_hits += len(hits)
             if checkpoint_path is not None:
-                result = _assemble(plan_spec, clean, outcomes, failures)
                 _atomic_write_text(
                     checkpoint_path,
-                    _to_json(result, complete=False),
+                    _to_json(_assemble(plan_spec, clean, outcomes, failures),
+                             complete=False),
                 )
-    return _assemble(plan_spec, clean, outcomes, failures)
+
+    try:
+        if workers > 1:
+            from .executor import WorkerRecipe, run_parallel
+
+            active_recipe = recipe if recipe is not None \
+                else WorkerRecipe.from_attack(attack)
+            sup = supervisor if supervisor is not None \
+                else active_recipe.config.supervisor
+            if sup.enabled:
+                from .supervisor import run_supervised
+
+                return run_supervised(
+                    active_recipe, images, labels, plan_spec, clean,
+                    outcomes, failures, workers=workers, config=sup,
+                    checkpoint_path=checkpoint_path,
+                    before_cell=before_cell, fault_hook=fault_hook,
+                    stats=stats)
+            return run_parallel(active_recipe, images, labels, plan_spec,
+                                clean, outcomes, failures, workers=workers,
+                                checkpoint_path=checkpoint_path,
+                                before_cell=before_cell)
+
+        blind_box: Dict[str, BlindAttack] = {}
+        for target, count in plan_spec.cells():
+            if (target, count) in outcomes:
+                continue
+            try:
+                if before_cell is not None:
+                    before_cell(target, count)
+                if stats is not None:
+                    stats.dispatched += 1
+                outcomes[(target, count)] = _execute_cell(
+                    attack, blind_box, images, labels, plan_spec.seed,
+                    target, count, clean=clean,
+                )
+                if stats is not None:
+                    stats.completed += 1
+            except ReproError as exc:
+                failures[(target, count)] = CellFailure(
+                    target_layer=target, n_strikes=count,
+                    error_type=type(exc).__name__, message=str(exc),
+                )
+            finally:
+                if checkpoint_path is not None:
+                    result = _assemble(plan_spec, clean, outcomes, failures)
+                    _atomic_write_text(
+                        checkpoint_path,
+                        _to_json(result, complete=False),
+                    )
+        return _assemble(plan_spec, clean, outcomes, failures)
+    finally:
+        if cache_obj is not None:
+            # Store whatever completed — interrupted runs still bank
+            # their finished cells (resumed outcomes included).
+            for (target, count), outcome in outcomes.items():
+                if (target, count) in cached_cells:
+                    continue
+                key = cache_obj.cell_key(digest, target, count,
+                                         plan_spec.seed)
+                cache_obj.put(key, outcome)
 
 
 # ---------------------------------------------------------------------------
@@ -325,16 +419,41 @@ def run_campaign(attack: DeepStrike, images: np.ndarray,
 # ---------------------------------------------------------------------------
 
 
+def _fsync_dir(path: Path) -> None:
+    """Best-effort fsync of a directory so a rename within it is durable
+    (some filesystems don't support opening directories — ignore)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 def _atomic_write_text(path, text: str) -> None:
-    """Write via a same-directory temp file + ``os.replace`` so an
-    interrupt can never leave a truncated file at ``path``."""
+    """Write via a same-directory temp file + fsync + ``os.replace``.
+
+    ``os.replace`` alone is atomic but not *durable*: after a host
+    crash the rename may survive while the data blocks it points at do
+    not, leaving a truncated file.  Fsyncing the temp file before the
+    replace (and, best-effort, the directory after it) guarantees a
+    reader finds either the previous content or the complete new one —
+    never a torn checkpoint.
+    """
     path = Path(path)
     fd, tmp = tempfile.mkstemp(dir=path.parent or Path("."),
                                prefix=path.name + ".", suffix=".tmp")
     try:
         with os.fdopen(fd, "w") as handle:
             handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp, path)
+        _fsync_dir(path.parent or Path("."))
     except BaseException:
         try:
             os.unlink(tmp)

@@ -35,11 +35,20 @@ The differential tests in ``tests/core/test_parallel_parity.py`` enforce
 the headline guarantee: ``workers ∈ {1, 2, 4}`` produce byte-identical
 final campaign JSON, including interrupted-and-resumed runs and runs
 under a chaos preset.
+
+:func:`run_parallel` is the *raw, fail-fast* path — one dead worker
+aborts the run.  By default ``run_campaign`` routes ``workers>1``
+through :mod:`repro.core.supervisor`, which reuses this module's worker
+entry points (``_init_worker`` / ``_worker_cell`` / ``_build_state``)
+and adds leases, bounded retries, quarantine, and graceful degradation
+on top; ``SupervisorConfig(enabled=False)`` restores this path.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
+import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -112,13 +121,13 @@ class _WorkerState:
 _STATE: Optional[_WorkerState] = None
 
 
-def _init_worker(recipe: WorkerRecipe, images: np.ndarray,
-                 labels: np.ndarray, clean: Optional[float] = None) -> None:
-    """Build this worker's attack stack from the recipe (runs once per
-    process).  The RNG seeds here are irrelevant: every cell reseeds the
-    engine stream from its blake2s-derived cell seed before executing.
-    """
-    global _STATE
+def _build_state(recipe: WorkerRecipe, images: np.ndarray,
+                 labels: np.ndarray,
+                 clean: Optional[float] = None) -> _WorkerState:
+    """Rebuild the attack stack from a recipe (shared by the pool
+    initializer and the supervisor's in-process serial fallback).  The
+    RNG seeds here are irrelevant: every cell reseeds the engine stream
+    from its blake2s-derived cell seed before executing."""
     from ..accel import AcceleratorEngine
     from ..zoo import load_quantized
 
@@ -127,11 +136,35 @@ def _init_worker(recipe: WorkerRecipe, images: np.ndarray,
                                rng=np.random.default_rng(0))
     attack = DeepStrike(engine, bank_cells=recipe.bank_cells,
                         rng=np.random.default_rng(0))
-    _STATE = _WorkerState(attack=attack, blind_box={},
-                          images=images, labels=labels, clean=clean)
+    return _WorkerState(attack=attack, blind_box={},
+                        images=images, labels=labels, clean=clean)
 
 
-def _worker_cell(target: str, count: int, base_seed: int):
+def _init_worker(recipe: WorkerRecipe, images: np.ndarray,
+                 labels: np.ndarray, clean: Optional[float] = None) -> None:
+    """Build this worker's attack stack (runs once per process)."""
+    global _STATE
+    _STATE = _build_state(recipe, images, labels, clean)
+
+
+def _apply_fault(fault) -> None:
+    """Honour a supervisor chaos directive inside the worker.
+
+    ``("kill", _)`` dies the way a segfault/OOM-kill does (no Python
+    teardown, pool breaks); ``("hang", seconds)`` stalls the cell so its
+    lease expires.  Directives are issued per ``(cell, attempt)`` by the
+    dispatching process — see :meth:`repro.chaos.ChaosInjector.cell_fault`.
+    """
+    if not fault:
+        return
+    kind = fault[0]
+    if kind == "kill":
+        os._exit(13)
+    elif kind == "hang":
+        time.sleep(float(fault[1]))
+
+
+def _worker_cell(target: str, count: int, base_seed: int, fault=None):
     """Execute one cell in a worker; runs in the pool process.
 
     Returns ``("outcome", AttackOutcome)`` or — for any in-cell
@@ -139,6 +172,7 @@ def _worker_cell(target: str, count: int, base_seed: int):
     ``("failure", CellFailure)``.  Non-``ReproError`` exceptions
     propagate and surface in the parent, exactly as they do serially.
     """
+    _apply_fault(fault)
     state = _STATE
     if state is None:  # pragma: no cover - pool always runs the initializer
         raise RuntimeError("campaign worker used before initialization")

@@ -198,11 +198,17 @@ class RemoteAttacker:
     """
 
     def __init__(self, link: UARTLink, scheduler: AttackScheduler,
-                 reliability: Optional[ReliabilityConfig] = None) -> None:
+                 reliability: Optional[ReliabilityConfig] = None,
+                 rng: Optional[np.random.Generator] = None) -> None:
         self.link = link
         self.scheduler = scheduler
         self.reliability = (reliability if reliability is not None
                             else scheduler.sim_config.reliability)
+        # Backoff-jitter stream (see ReliabilityConfig.backoff_jitter):
+        # seeded so a run is reproducible, overridable so concurrent
+        # attacker shards desynchronize their retransmission waves
+        # instead of hammering the shared channel in lockstep.
+        self.rng = rng if rng is not None else np.random.default_rng(0x1D1E)
         self.stats = ARQStats()
         self.last_trace: Optional[TraceReply] = None
         self._next_seq = 0
@@ -279,8 +285,14 @@ class RemoteAttacker:
             if reply is not None:
                 return reply
             # Nothing usable came back: wait (simulated) and retransmit.
-            self.stats.backoff_s += backoff
-            waited += backoff
+            # Jitter decorrelates retry waves across attacker shards
+            # (symmetric, so the mean wait matches the nominal ladder).
+            delay = backoff
+            if rel.backoff_jitter:
+                delay *= 1.0 + rel.backoff_jitter * \
+                    (self.rng.random() * 2.0 - 1.0)
+            self.stats.backoff_s += delay
+            waited += delay
             backoff = min(backoff * rel.backoff_factor, rel.backoff_max_s)
             if waited > rel.op_timeout_s:
                 self.stats.timeouts += 1

@@ -80,7 +80,11 @@ class WorkerCrashError(ReproError):
     An in-cell :class:`ReproError` is recorded as a ``CellFailure`` and
     the campaign survives it; a crashed worker (segfault, OOM kill,
     ``os._exit``) means results were lost in flight and the pool is
-    broken, so the campaign stops.  The last atomically written
+    broken.  Under the raw executor (supervision disabled) the campaign
+    stops with this error; under the self-healing supervisor
+    (:mod:`repro.core.supervisor`) the pool is rebuilt and only the lost
+    cells are re-dispatched, so this error surfaces only when retry and
+    degradation budgets are exhausted.  The last atomically written
     checkpoint is still valid on disk and ``--resume`` picks up from it.
     """
 
@@ -88,6 +92,25 @@ class WorkerCrashError(ReproError):
                  n_strikes: int = 0) -> None:
         self.target_layer = target_layer
         self.n_strikes = n_strikes
+        super().__init__(message)
+
+
+class CellLeaseExpiredError(ReproError):
+    """A campaign cell overran its lease deadline and was cancelled.
+
+    The supervisor dispatches every cell under a lease
+    (``SupervisorConfig.cell_timeout_s``); a cell still running at its
+    deadline is presumed hung, its worker is torn down, and the cell is
+    retried.  A cell that *keeps* timing out until its retry budget runs
+    out is recorded as a ``CellFailure`` with this error type and
+    ``kind="timeout"``.
+    """
+
+    def __init__(self, message: str, target_layer: str = "",
+                 n_strikes: int = 0, attempts: int = 0) -> None:
+        self.target_layer = target_layer
+        self.n_strikes = n_strikes
+        self.attempts = attempts
         super().__init__(message)
 
 

@@ -1,0 +1,208 @@
+"""Content-addressed cell-cache contract: paranoid reads, honest keys.
+
+Two properties carry the feature:
+
+* a cache can *lose* entries (corruption, truncation, tampering, schema
+  drift — all are misses), but must never *serve a wrong one*;
+* a warm-cache campaign recomputes nothing (``stats.dispatched == 0``)
+  yet emits JSON byte-identical to the cold serial run.
+"""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import CampaignSpec, DeepStrike, run_campaign
+from repro.core.campaign import _to_json
+from repro.core.cellcache import CellCache, campaign_digest
+from repro.core.evaluation import AttackOutcome
+from repro.core.supervisor import SupervisorStats
+
+
+@pytest.fixture(scope="module")
+def victim():
+    from repro.zoo import get_pretrained
+
+    return get_pretrained()
+
+
+@pytest.fixture(scope="module")
+def small_spec():
+    return CampaignSpec(sweeps=(("pool1", (40, 80)),), eval_images=16,
+                        seed=5)
+
+
+def fresh_attack(victim):
+    from repro.accel import AcceleratorEngine
+
+    engine = AcceleratorEngine(victim.quantized,
+                               rng=np.random.default_rng(66))
+    return DeepStrike(engine, rng=np.random.default_rng(77))
+
+
+def outcome(**overrides) -> AttackOutcome:
+    base = dict(target_layer="pool1", n_strikes=40, strikes_landed=38,
+                clean_accuracy=0.9375, attacked_accuracy=0.8125,
+                mean_strike_voltage=0.8342)
+    base.update(overrides)
+    return AttackOutcome(**base)
+
+
+DIGEST = "d" * 64
+
+
+class TestEntryIntegrity:
+    def key(self, cache, count=40):
+        return cache.cell_key(DIGEST, "pool1", count, base_seed=5)
+
+    def test_put_get_round_trip(self, tmp_path):
+        cache = CellCache(tmp_path / "cache")
+        key = self.key(cache)
+        cache.put(key, outcome())
+        assert cache.get(key) == outcome()
+        assert cache.stats.hits == 1 and cache.stats.stores == 1
+
+    def test_missing_entry_is_a_miss(self, tmp_path):
+        cache = CellCache(tmp_path / "cache")
+        assert cache.get(self.key(cache)) is None
+        assert cache.stats.misses == 1 and cache.stats.corrupt == 0
+
+    def test_truncated_entry_is_a_miss_and_removed(self, tmp_path):
+        cache = CellCache(tmp_path / "cache")
+        key = self.key(cache)
+        cache.put(key, outcome())
+        path = cache._entry_path(key)
+        path.write_text(path.read_text()[:37])  # torn mid-JSON
+        assert cache.get(key) is None
+        assert cache.stats.corrupt == 1
+        assert not path.exists()  # unlinked so it never costs again
+
+    def test_tampered_payload_is_a_miss(self, tmp_path):
+        """A bit-flip in the payload breaks the integrity digest."""
+        cache = CellCache(tmp_path / "cache")
+        key = self.key(cache)
+        cache.put(key, outcome())
+        path = cache._entry_path(key)
+        entry = json.loads(path.read_text())
+        entry["payload"]["attacked_accuracy"] = 0.0
+        path.write_text(json.dumps(entry))
+        assert cache.get(key) is None
+        assert cache.stats.corrupt == 1
+
+    def test_relocated_entry_is_a_miss(self, tmp_path):
+        """An entry copied under another cell's address must not serve."""
+        cache = CellCache(tmp_path / "cache")
+        key = self.key(cache)
+        other = self.key(cache, count=80)
+        cache.put(key, outcome())
+        target = cache._entry_path(other)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(cache._entry_path(key).read_text())
+        assert cache.get(other) is None
+        assert cache.stats.corrupt == 1
+
+    def test_future_format_version_is_a_miss(self, tmp_path):
+        cache = CellCache(tmp_path / "cache")
+        key = self.key(cache)
+        cache.put(key, outcome())
+        path = cache._entry_path(key)
+        entry = json.loads(path.read_text())
+        entry["format_version"] = 999
+        path.write_text(json.dumps(entry))
+        assert cache.get(key) is None
+
+    def test_schema_drift_is_a_miss(self, tmp_path):
+        """A payload that no longer matches AttackOutcome is refused."""
+        cache = CellCache(tmp_path / "cache")
+        key = self.key(cache)
+        cache.put(key, outcome())
+        path = cache._entry_path(key)
+        entry = json.loads(path.read_text())
+        entry["payload"]["from_the_future"] = 1
+        # keep the integrity digest honest: drift, not corruption
+        from repro.core.cellcache import _payload_digest
+
+        entry["digest"] = _payload_digest(entry["payload"])
+        path.write_text(json.dumps(entry))
+        assert cache.get(key) is None
+
+
+class TestContentAddressing:
+    def test_any_recipe_change_moves_the_address(self, victim):
+        """Config knob, bank size, eval slice — each shifts the digest,
+        so stale entries are unreachable rather than invalidated."""
+        attack = fresh_attack(victim)
+        images = victim.dataset.test_images[:16]
+        labels = victim.dataset.test_labels[:16]
+        base = campaign_digest(attack.config, attack.bank_cells,
+                               attack.engine.model, images, labels)
+        assert base == campaign_digest(attack.config, attack.bank_cells,
+                                       attack.engine.model, images, labels)
+        tweaked = dataclasses.replace(
+            attack.config,
+            striker=dataclasses.replace(attack.config.striker,
+                                        loops_per_cell=3))
+        assert campaign_digest(tweaked, attack.bank_cells,
+                               attack.engine.model, images, labels) != base
+        assert campaign_digest(attack.config, attack.bank_cells + 1,
+                               attack.engine.model, images, labels) != base
+        assert campaign_digest(attack.config, attack.bank_cells,
+                               attack.engine.model, images[:8],
+                               labels[:8]) != base
+
+    def test_seed_and_cell_separate_keys(self):
+        key = CellCache.cell_key(DIGEST, "pool1", 40, 5)
+        assert CellCache.cell_key(DIGEST, "pool1", 40, 6) != key
+        assert CellCache.cell_key(DIGEST, "pool1", 80, 5) != key
+        assert CellCache.cell_key(DIGEST, "conv1", 40, 5) != key
+
+
+class TestWarmCampaign:
+    def test_warm_run_recomputes_nothing_and_matches_cold_bytes(
+            self, victim, small_spec, tmp_path):
+        """Acceptance: second run against the same cache dir performs
+        zero cell dispatches and emits byte-identical JSON."""
+        cache_dir = tmp_path / "cellcache"
+
+        def one_run():
+            stats = SupervisorStats()
+            result = run_campaign(fresh_attack(victim),
+                                  victim.dataset.test_images,
+                                  victim.dataset.test_labels, small_spec,
+                                  cache=cache_dir, stats=stats)
+            return _to_json(result, complete=True), stats
+
+        cold_json, cold_stats = one_run()
+        assert cold_stats.dispatched == len(small_spec.cells())
+        assert cold_stats.cache_hits == 0
+
+        warm_json, warm_stats = one_run()
+        assert warm_stats.dispatched == 0
+        assert warm_stats.cache_hits == len(small_spec.cells())
+        assert warm_json == cold_json
+
+    def test_corrupt_entry_recomputed_transparently(self, victim,
+                                                    small_spec, tmp_path):
+        cache_dir = tmp_path / "cellcache"
+        cache = CellCache(cache_dir)
+
+        def one_run(stats):
+            return _to_json(
+                run_campaign(fresh_attack(victim),
+                             victim.dataset.test_images,
+                             victim.dataset.test_labels, small_spec,
+                             cache=cache, stats=stats),
+                complete=True)
+
+        cold = one_run(SupervisorStats())
+        # Corrupt one entry on disk; the warm run must recompute exactly
+        # that cell and still match the cold bytes.
+        entries = sorted(cache_dir.rglob("*.json"))
+        assert entries
+        entries[0].write_text("{definitely not json")
+        stats = SupervisorStats()
+        assert one_run(stats) == cold
+        assert stats.dispatched == 1
+        assert stats.cache_hits == len(small_spec.cells()) - 1

@@ -195,12 +195,35 @@ class TestARQ:
     def test_backoff_grows_and_caps(self):
         model = LinkFaultModel(LinkFaultConfig(drop=1.0), seed=0)
         rel = ReliabilityConfig(max_retries=6, backoff_base_s=1e-3,
-                                backoff_factor=2.0, backoff_max_s=4e-3)
+                                backoff_factor=2.0, backoff_max_s=4e-3,
+                                backoff_jitter=0.0)
         remote = make_remote(fault_model=model, reliability=rel)
         with pytest.raises(LinkDeadError):
             remote.upload_scheme(valid_scheme())
         # 1+2+4+4+4+4+4 ms: doubling then clamped at backoff_max_s.
         assert remote.stats.backoff_s == pytest.approx(23e-3)
+
+    def test_backoff_jitter_bounded_and_seeded(self):
+        """Jittered waits stay within ±jitter of the nominal ladder, and
+        the same RNG seed reproduces the same total wait exactly."""
+        import numpy as np
+
+        rel = ReliabilityConfig(max_retries=6, backoff_base_s=1e-3,
+                                backoff_factor=2.0, backoff_max_s=4e-3,
+                                backoff_jitter=0.5)
+
+        def total_backoff(seed):
+            model = LinkFaultModel(LinkFaultConfig(drop=1.0), seed=0)
+            remote = make_remote(fault_model=model, reliability=rel)
+            remote.rng = np.random.default_rng(seed)
+            with pytest.raises(LinkDeadError):
+                remote.upload_scheme(valid_scheme())
+            return remote.stats.backoff_s
+
+        waited = total_backoff(seed=9)
+        assert 23e-3 * 0.5 <= waited <= 23e-3 * 1.5
+        assert waited != pytest.approx(23e-3)  # jitter actually applied
+        assert total_backoff(seed=9) == waited  # seeded: reproducible
 
     def test_rejection_not_retried(self):
         remote = make_remote()

@@ -216,14 +216,20 @@ class TestDispatchSemantics:
 class TestWorkerCrash:
     def test_dead_worker_raises_typed_error_and_keeps_checkpoint(
             self, victim, small_spec, tmp_path, monkeypatch):
-        """A worker *process* dying is not a cell failure: the campaign
-        stops with WorkerCrashError, the checkpoint stays valid."""
+        """With supervision off, a worker *process* dying is not a cell
+        failure: the campaign stops with WorkerCrashError, the
+        checkpoint stays valid.  (Supervised crash recovery is covered
+        by tests/core/test_supervisor.py.)"""
+        from repro.config import SupervisorConfig
+
         monkeypatch.setattr(executor_mod, "_worker_cell", _crash_cell)
         ckpt = tmp_path / "ckpt.json"
         with pytest.raises(WorkerCrashError) as excinfo:
-            run(victim, small_spec, workers=2, checkpoint_path=ckpt)
+            run(victim, small_spec, workers=2, checkpoint_path=ckpt,
+                supervisor=SupervisorConfig(enabled=False))
         assert excinfo.value.target_layer in {"pool1", "blind"}
 
 
-def _crash_cell(target, count, base_seed):  # pragma: no cover - dies
+def _crash_cell(target, count, base_seed, fault=None):
+    # pragma: no cover - dies
     os._exit(13)

@@ -1,0 +1,238 @@
+"""Self-healing supervisor contract: crashes heal, parity survives.
+
+The supervised executor's promise extends the parallel byte-parity
+contract into hostile territory: a campaign whose workers are killed,
+whose cells hang past their lease, and whose pool degrades all the way
+to in-process serial must still converge — without manual ``--resume`` —
+to the same final JSON a clean serial run produces (minus only the
+failure records of genuinely poisoned cells).
+"""
+
+import json
+import multiprocessing as mp
+
+import numpy as np
+import pytest
+
+from repro.chaos import ChaosInjector, ChaosSpec
+from repro.config import SupervisorConfig
+from repro.core import CampaignSpec, DeepStrike, run_campaign
+from repro.core.campaign import _to_json
+from repro.core.supervisor import SupervisorStats
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in mp.get_all_start_methods(),
+    reason="fault hooks need fork to reach the worker")
+
+
+@pytest.fixture(scope="module")
+def victim():
+    from repro.zoo import get_pretrained
+
+    return get_pretrained()
+
+
+@pytest.fixture(scope="module")
+def small_spec():
+    return CampaignSpec(sweeps=(("pool1", (40, 80)),), eval_images=16,
+                        seed=5)
+
+
+def fresh_attack(victim):
+    from repro.accel import AcceleratorEngine
+
+    engine = AcceleratorEngine(victim.quantized,
+                               rng=np.random.default_rng(66))
+    return DeepStrike(engine, rng=np.random.default_rng(77))
+
+
+def run(victim, spec, **kwargs):
+    return run_campaign(fresh_attack(victim), victim.dataset.test_images,
+                        victim.dataset.test_labels, spec, **kwargs)
+
+
+@pytest.fixture(scope="module")
+def serial_json(victim, small_spec):
+    """The clean serial artifact every healed run must reproduce."""
+    return _to_json(run(victim, small_spec), complete=True)
+
+
+def kill_cell(poison):
+    """Fault hook: kill the worker for ``poison`` on every attempt."""
+    def hook(target, count, attempt):
+        return ("kill", 0) if (target, count) == poison else None
+    return hook
+
+
+class TestCrashRecovery:
+    def test_every_cell_killed_once_still_matches_serial_bytes(
+            self, victim, small_spec, serial_json):
+        """Chaos kills each cell's worker on first dispatch; retries
+        heal every cell and the bytes match the undisturbed run."""
+        injector = ChaosInjector(ChaosSpec(worker_kill_prob=1.0, seed=3))
+        stats = SupervisorStats()
+        result = run(victim, small_spec, workers=2,
+                     before_cell=injector.campaign_cell_hook,
+                     fault_hook=injector.cell_fault, stats=stats)
+        assert _to_json(result, complete=True) == serial_json
+        assert injector.stats["killed_workers"] == len(small_spec.cells())
+        assert stats.worker_crashes >= 1
+        assert stats.retries >= 1
+        assert stats.quarantined == 0
+
+    def test_checkpoint_survives_the_carnage(self, victim, small_spec,
+                                             serial_json, tmp_path):
+        injector = ChaosInjector(ChaosSpec(worker_kill_prob=1.0, seed=3))
+        ckpt = tmp_path / "ckpt.json"
+        result = run(victim, small_spec, workers=2, checkpoint_path=ckpt,
+                     before_cell=injector.campaign_cell_hook,
+                     fault_hook=injector.cell_fault)
+        assert _to_json(result, complete=True) == serial_json
+        assert json.loads(ckpt.read_text())["format_version"] == 2
+
+
+class TestQuarantine:
+    def test_poison_cell_quarantined_rest_of_grid_intact(
+            self, victim, small_spec, serial_json):
+        """A cell that kills its worker on *every* attempt is isolated
+        as kind="quarantined"; every other cell matches the serial run
+        byte-for-byte (acceptance: serial minus the poisoned record)."""
+        poison = ("pool1", 80)
+        stats = SupervisorStats()
+        result = run(victim, small_spec, workers=2,
+                     fault_hook=kill_cell(poison), stats=stats)
+
+        assert stats.quarantined == 1
+        assert [f.kind for f in result.failures] == ["quarantined"]
+        failure = result.failures[0]
+        assert (failure.target_layer, failure.n_strikes) == poison
+        assert failure.error_type == "WorkerCrashError"
+
+        healed = json.loads(_to_json(result, complete=True))
+        golden = json.loads(serial_json)
+        golden["sweeps"] = [
+            {**sweep,
+             "outcomes": [o for o in sweep["outcomes"]
+                          if (sweep["target_layer"],
+                              o["n_strikes"]) != poison]}
+            for sweep in golden["sweeps"]]
+        healed["failures"] = []
+        assert healed == golden
+
+    def test_innocent_bystanders_are_never_quarantined(
+            self, victim, small_spec):
+        """Cells sharing a pool with the poison get group-blamed once,
+        then prove themselves in isolation — only the poison falls."""
+        poison = ("pool1", 40)
+        result = run(victim, small_spec, workers=2,
+                     fault_hook=kill_cell(poison))
+        done = {(s.target_layer, o.n_strikes)
+                for s in result.sweeps for o in s.outcomes}
+        assert done == set(small_spec.cells()) - {poison}
+
+
+class TestLeases:
+    def test_hanging_cell_cancelled_and_retried(self, victim, small_spec,
+                                                serial_json):
+        """A cell stalling past its lease is torn down and re-run; the
+        retry completes and parity holds."""
+        hung = ("pool1", 40)
+
+        def hang_once(target, count, attempt):
+            if (target, count) == hung and attempt == 0:
+                return ("hang", 120.0)
+            return None
+
+        stats = SupervisorStats()
+        result = run(victim, small_spec, workers=2, fault_hook=hang_once,
+                     supervisor=SupervisorConfig(cell_timeout_s=5.0),
+                     stats=stats)
+        assert _to_json(result, complete=True) == serial_json
+        assert stats.lease_expiries >= 1
+        assert stats.retries >= 1
+
+    def test_chronic_hang_exhausts_into_timeout_failure(
+            self, victim, small_spec):
+        """A cell that hangs on every attempt burns its retry budget and
+        is recorded as kind="timeout" — the campaign still finishes."""
+        hung = ("pool1", 40)
+
+        def always_hang(target, count, attempt):
+            return ("hang", 120.0) if (target, count) == hung else None
+
+        result = run(victim, small_spec, workers=2, fault_hook=always_hang,
+                     supervisor=SupervisorConfig(cell_timeout_s=4.0,
+                                                 max_retries=1))
+        assert [(f.kind, f.error_type) for f in result.failures] == \
+            [("timeout", "CellLeaseExpiredError")]
+        done = {(s.target_layer, o.n_strikes)
+                for s in result.sweeps for o in s.outcomes}
+        assert done == set(small_spec.cells()) - {hung}
+
+
+class TestDegradation:
+    def test_repeated_carnage_falls_back_to_in_process_serial(
+            self, victim, small_spec, serial_json):
+        """Kill everything on every attempt with a tiny incident budget:
+        the supervisor degrades, abandons pools, and still finishes with
+        byte parity (directives cannot reach the in-process path)."""
+        def kill_everything(target, count, attempt):
+            return ("kill", 0)
+
+        stats = SupervisorStats()
+        result = run(victim, small_spec, workers=2,
+                     fault_hook=kill_everything,
+                     supervisor=SupervisorConfig(
+                         degrade_after=1, serial_fallback_after=2,
+                         max_retries=10, quarantine_after=10,
+                         backoff_base_s=0.01, backoff_max_s=0.05),
+                     stats=stats)
+        assert _to_json(result, complete=True) == serial_json
+        assert stats.serial_fallback is True
+        assert stats.degradations >= 1
+        assert stats.quarantined == 0
+
+
+class TestAcceptance:
+    def test_kill_plus_hang_completes_without_manual_resume(
+            self, victim, serial_json, small_spec, tmp_path):
+        """The issue's acceptance scenario: one poison cell (SIGKILL
+        every attempt) and one hanging cell in the same campaign.  The
+        hang is retried, the poison is quarantined, nothing needs
+        ``--resume``, and the checkpoint equals the clean serial bytes
+        minus the quarantined cell's records."""
+        spec = CampaignSpec(sweeps=(("pool1", (40, 80, 120)),),
+                            eval_images=16, seed=5)
+        # The poison rides in the first dispatch wave; the hang sits at
+        # the back of the queue so it runs (and overstays its lease) in
+        # a later, crash-free round.
+        poison = ("pool1", 40)
+        hung = ("pool1", 120)
+
+        def hostile(target, count, attempt):
+            if (target, count) == poison:
+                return ("kill", 0)
+            if (target, count) == hung and attempt == 0:
+                return ("hang", 120.0)
+            return None
+
+        ckpt = tmp_path / "ckpt.json"
+        stats = SupervisorStats()
+        result = run(victim, spec, workers=2, checkpoint_path=ckpt,
+                     fault_hook=hostile,
+                     supervisor=SupervisorConfig(cell_timeout_s=6.0),
+                     stats=stats)
+
+        assert stats.quarantined == 1 and stats.lease_expiries >= 1
+        assert [f.kind for f in result.failures] == ["quarantined"]
+
+        clean = json.loads(_to_json(run(victim, spec), complete=True))
+        clean["sweeps"] = [
+            {**sweep,
+             "outcomes": [o for o in sweep["outcomes"]
+                          if (sweep["target_layer"],
+                              o["n_strikes"]) != poison]}
+            for sweep in clean["sweeps"]]
+        healed = json.loads(_to_json(result, complete=True))
+        healed["failures"] = []
+        assert healed == clean
