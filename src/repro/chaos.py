@@ -59,12 +59,19 @@ class ChaosSpec:
     worker_kill_prob: float = 0.0   # per campaign cell: kill its worker
     cell_hang_prob: float = 0.0     # per campaign cell: stall past its lease
     cell_hang_s: float = 0.25       # how long a hung cell stalls
+    # Shard-level delivery faults (campaign-service runs only): mangle
+    # how a cell's *result* travels, not whether the cell computes.
+    worker_disconnect_prob: float = 0.0  # per cell: drop the result frame
+    result_duplicate_prob: float = 0.0   # per cell: deliver the result twice
+    result_delay_prob: float = 0.0       # per cell: delay the delivery
+    result_delay_s: float = 0.05         # how long a delayed delivery waits
     seed: int = 0
 
     def __post_init__(self) -> None:
         for name in ("noise_burst_prob", "stuck_prob", "trigger_drop_prob",
                      "cell_failure_prob", "worker_kill_prob",
-                     "cell_hang_prob"):
+                     "cell_hang_prob", "worker_disconnect_prob",
+                     "result_duplicate_prob", "result_delay_prob"):
             p = getattr(self, name)
             if not 0.0 <= p <= 1.0:
                 raise ConfigError(f"{name}={p} outside [0, 1]")
@@ -74,6 +81,8 @@ class ChaosSpec:
             raise ConfigError("noise_amp must be >= 0")
         if self.cell_hang_s < 0.0:
             raise ConfigError("cell_hang_s must be >= 0")
+        if self.result_delay_s < 0.0:
+            raise ConfigError("result_delay_s must be >= 0")
 
 
 #: Named severity tiers, mirroring the CLI's ``--chaos`` choices.
@@ -97,6 +106,9 @@ CHAOS_PRESETS = {
         cell_failure_prob=0.2,
         worker_kill_prob=0.1,
         cell_hang_prob=0.05, cell_hang_s=0.2,
+        worker_disconnect_prob=0.1,
+        result_duplicate_prob=0.1,
+        result_delay_prob=0.05, result_delay_s=0.05,
     ),
 }
 
@@ -128,9 +140,13 @@ class ChaosInjector:
         self.rng = rng if rng is not None else np.random.default_rng(spec.seed)
         self.stats = {"noise_bursts": 0, "stuck_runs": 0,
                       "dropped_triggers": 0, "failed_cells": 0,
-                      "killed_workers": 0, "hung_cells": 0}
+                      "killed_workers": 0, "hung_cells": 0,
+                      "disconnected_shards": 0, "duplicated_results": 0,
+                      "delayed_results": 0}
         #: cell -> fault directive drawn at dispatch (None = clean cell).
         self._cell_faults: dict = {}
+        #: cell -> shard delivery directive drawn at dispatch (or None).
+        self._shard_faults: dict = {}
         # streaming readout-filter state
         self._burst_left = 0
         self._stuck_left = 0
@@ -282,13 +298,21 @@ class ChaosInjector:
         supervision a hostile chaos campaign must converge to the same
         outcomes as a clean serial run.
 
+        Shard-level delivery faults (disconnect / duplicate / delay —
+        service campaigns only) are drawn here too and stored for
+        :meth:`shard_fault`; the worker daemon honours them *around*
+        delivery, so the cell still computes and the broker's
+        lease-expiry/dedup machinery is what heals the damage.
+
         Worker-count independence: ``run_campaign`` invokes this in the
         submitting process at dispatch time, in canonical cell order,
         for serial and parallel runs alike — and *every* draw for a
-        cell happens here, in a fixed order (fail, kill, hang), with
-        zero-probability draws skipped — so the RNG sequence is the
-        same whether the campaign runs at ``workers=1`` or
-        ``workers=N``, supervised or not.
+        cell happens here, in a fixed order (fail, kill, hang,
+        disconnect, duplicate, delay), with zero-probability draws
+        skipped — so the RNG sequence is the same whether the campaign
+        runs at ``workers=1``, ``workers=N``, or distributed under a
+        broker.  The shard draws come *after* the original three, so
+        pre-service specs keep their historical sequences bit-for-bit.
         """
         spec = self.spec
         fail = bool(spec.cell_failure_prob and
@@ -297,6 +321,12 @@ class ChaosInjector:
                     self.rng.random() < spec.worker_kill_prob)
         hang = bool(spec.cell_hang_prob and
                     self.rng.random() < spec.cell_hang_prob)
+        disconnect = bool(spec.worker_disconnect_prob and
+                          self.rng.random() < spec.worker_disconnect_prob)
+        duplicate = bool(spec.result_duplicate_prob and
+                         self.rng.random() < spec.result_duplicate_prob)
+        delay = bool(spec.result_delay_prob and
+                     self.rng.random() < spec.result_delay_prob)
         directive = None
         if kill:
             directive = ("kill", 0)
@@ -305,6 +335,17 @@ class ChaosInjector:
             directive = ("hang", spec.cell_hang_s)
             self.stats["hung_cells"] += 1
         self._cell_faults[(target, count)] = directive
+        shard = {}
+        if disconnect:
+            shard["disconnect"] = True
+            self.stats["disconnected_shards"] += 1
+        if duplicate:
+            shard["duplicate"] = True
+            self.stats["duplicated_results"] += 1
+        if delay:
+            shard["delay"] = spec.result_delay_s
+            self.stats["delayed_results"] += 1
+        self._shard_faults[(target, count)] = shard or None
         if fail:
             self.stats["failed_cells"] += 1
             raise ChaosError(
@@ -323,3 +364,17 @@ class ChaosInjector:
         if attempt:
             return None
         return self._cell_faults.get((target, count))
+
+    def shard_fault(self, target: str, count: int, attempt: int = 0):
+        """Service ``shard_hook``: the delivery directive for this cell.
+
+        Same contract as :meth:`cell_fault` — draws nothing, first
+        attempt only — but aimed at the *delivery* path: a dict with any
+        of ``disconnect`` (the worker computes the cell, then drops the
+        result so the lease must expire), ``duplicate`` (the result is
+        delivered twice and the broker must dedup), and ``delay``
+        (seconds to sit on the result before delivering).
+        """
+        if attempt:
+            return None
+        return self._shard_faults.get((target, count))

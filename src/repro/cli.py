@@ -11,6 +11,9 @@ Subcommands::
     python -m repro report          # regenerate headline results -> markdown
     python -m repro defend          # detection study + arms race -> JSON
     python -m repro bench           # engine hot-path micro-benchmarks
+    python -m repro serve           # run a campaign as a broker service
+    python -m repro work            # attach a worker to a running broker
+    python -m repro cache gc        # prune a cell cache to a size bound
 """
 
 from __future__ import annotations
@@ -115,6 +118,56 @@ def build_parser() -> argparse.ArgumentParser:
                           metavar="LAYER=N1,N2,...",
                           help="override the default study (repeatable; "
                                "disables the blind baseline)")
+    campaign.add_argument("--broker", default=None, metavar="HOST:PORT",
+                          help="serve this campaign as a fault-tolerant "
+                               "broker bound here (port 0 picks a free "
+                               "port); cells are leased to registered "
+                               "workers ('repro work') and the merged "
+                               "result stays byte-identical to a serial "
+                               "run")
+    campaign.add_argument("--local-workers", type=int, default=None,
+                          metavar="N",
+                          help="worker daemons the broker spawns on this "
+                               "host (default from ServiceConfig; remote "
+                               "workers can attach either way)")
+
+    serve = sub.add_parser("serve",
+                           help="run a campaign as a broker service "
+                                "(campaign --broker with serving "
+                                "defaults)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="0 picks a free port (printed at startup)")
+    serve.add_argument("--local-workers", type=int, default=2, metavar="N")
+    serve.add_argument("-o", "--output", default="campaign.json")
+    serve.add_argument("--images", type=int, default=120)
+    serve.add_argument("--seed", type=int, default=1)
+    serve.add_argument("--checkpoint", default=None, metavar="JSON")
+    serve.add_argument("--resume", default=None, metavar="JSON")
+    serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="shared cell cache; workers consult it too")
+    serve.add_argument("--sweep", action="append", default=None,
+                       metavar="LAYER=N1,N2,...")
+    serve.add_argument("--chaos", default=None,
+                       choices=sorted(CHAOS_PRESETS))
+
+    work = sub.add_parser("work",
+                          help="attach a worker daemon to a running "
+                               "campaign broker")
+    work.add_argument("--broker", required=True, metavar="HOST:PORT")
+    work.add_argument("--id", default=None, metavar="NAME",
+                      help="worker id (default host-pid-nonce)")
+    work.add_argument("--cache-dir", default=None, metavar="DIR",
+                      help="override the cell cache the broker advertises")
+
+    cache = sub.add_parser("cache", help="cell-result cache maintenance")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_gc = cache_sub.add_parser(
+        "gc", help="prune least-recently-used entries to a size bound")
+    cache_gc.add_argument("--dir", required=True, metavar="DIR")
+    cache_gc.add_argument("--max-bytes", type=int, default=None, metavar="N",
+                          help="prune LRU entries until the cache is at "
+                               "most this big (omit to just report size)")
 
     defend = sub.add_parser("defend",
                             help="droop-monitor detection study + the "
@@ -378,6 +431,7 @@ def _cmd_campaign(args) -> int:
                                        seed=args.seed)
         before_cell = None
         fault_hook = None
+        shard_hook = None
         if args.chaos:
             from .chaos import ChaosInjector, chaos_preset
 
@@ -385,6 +439,16 @@ def _cmd_campaign(args) -> int:
                                                   seed=args.seed))
             before_cell = injector.campaign_cell_hook
             fault_hook = injector.cell_fault
+            shard_hook = injector.shard_fault
+        service = None
+        if args.broker is not None:
+            from .core.service import parse_address
+
+            host, port = parse_address(args.broker, allow_zero=True)
+            overrides = {"host": host, "port": port}
+            if args.local_workers is not None:
+                overrides["local_workers"] = args.local_workers
+            service = dataclasses.replace(attack.config.service, **overrides)
         supervisor = None
         if args.no_supervisor or args.max_retries is not None \
                 or args.cell_timeout is not None:
@@ -395,9 +459,14 @@ def _cmd_campaign(args) -> int:
                     ("max_retries", args.max_retries),
                     ("cell_timeout_s", args.cell_timeout),
                 ) if v is not None})
-        from .core.supervisor import SupervisorStats
+        if service is not None:
+            from .core.service import ServiceStats
 
-        stats = SupervisorStats()
+            stats = ServiceStats()
+        else:
+            from .core.supervisor import SupervisorStats
+
+            stats = SupervisorStats()
         result = run_campaign(attack, victim.dataset.test_images,
                               victim.dataset.test_labels, spec,
                               checkpoint_path=args.checkpoint or args.resume,
@@ -406,13 +475,19 @@ def _cmd_campaign(args) -> int:
                               workers=args.workers,
                               cache=args.cache_dir,
                               supervisor=supervisor,
+                              service=service,
                               fault_hook=fault_hook,
-                              stats=stats)
+                              shard_hook=shard_hook,
+                              stats=stats,
+                              on_bound=lambda addr: print(
+                                  f"broker bound at {addr[0]}:{addr[1]}",
+                                  flush=True))
         save_campaign(result, args.output)
         print(f"campaign written to {args.output}")
         interesting = {k: v for k, v in stats.describe().items() if v}
         if interesting:
-            print("supervisor: " + ", ".join(
+            label = "service" if service is not None else "supervisor"
+            print(f"{label}: " + ", ".join(
                 f"{k}={v}" for k, v in sorted(interesting.items())))
     print(f"clean accuracy: {result.clean_accuracy:.4f}")
     print(sweep_to_rows(result.sweeps))
@@ -422,6 +497,43 @@ def _cmd_campaign(args) -> int:
         for failure in result.failures:
             print(f"  {failure.target_layer} x{failure.n_strikes}: "
                   f"{failure.error_type}: {failure.message}")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    """``repro campaign --broker`` with serving defaults: bind, print
+    the address, lease cells to whoever attaches, write the result."""
+    args.broker = f"{args.host}:{args.port}"
+    for name, value in (("show", None), ("workers", 1),
+                        ("max_retries", None), ("cell_timeout", None),
+                        ("no_supervisor", False)):
+        setattr(args, name, value)
+    return _cmd_campaign(args)
+
+
+def _cmd_work(args) -> int:
+    from .core.service import parse_address, run_worker
+
+    report = run_worker(parse_address(args.broker), worker_id=args.id,
+                        cache_dir=args.cache_dir)
+    print("worker done: " + ", ".join(
+        f"{k}={v}" for k, v in report.describe().items()))
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    from pathlib import Path
+
+    from .core.cellcache import CellCache
+
+    cache = CellCache(Path(args.dir))
+    report = cache.gc(args.max_bytes)
+    line = (f"cache {args.dir}: {report.entries_kept} entries, "
+            f"{report.bytes_kept} bytes")
+    if args.max_bytes is not None:
+        line += (f"; pruned {report.entries_pruned} entries "
+                 f"({report.bytes_pruned} bytes)")
+    print(line)
     return 0
 
 
@@ -515,6 +627,9 @@ _COMMANDS = {
     "scan": _cmd_scan,
     "report": _cmd_report,
     "campaign": _cmd_campaign,
+    "serve": _cmd_serve,
+    "work": _cmd_work,
+    "cache": _cmd_cache,
     "defend": _cmd_defend,
     "bench": _cmd_bench,
 }

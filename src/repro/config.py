@@ -34,6 +34,7 @@ __all__ = [
     "RecoveryConfig",
     "ExecutorConfig",
     "SupervisorConfig",
+    "ServiceConfig",
     "SimulationConfig",
     "default_config",
 ]
@@ -482,6 +483,83 @@ class SupervisorConfig:
 
 
 @dataclass(frozen=True)
+class ServiceConfig:
+    """Campaign-as-a-service broker/worker mechanics (docs/reliability.md
+    §3d).
+
+    The service layer (:mod:`repro.core.service`) promotes the
+    supervisor's lease state machine from process pools to remote
+    workers: a socket broker leases cells to worker daemons that
+    register, heartbeat, and steal stale leases; at-least-once result
+    delivery is deduplicated by cell so the merge into v2 checkpoints is
+    exactly-once.  All deadlines here are *monotonic*-clock seconds —
+    wall-clock jumps never expire a lease or evict a worker.
+    """
+
+    #: Interface the broker binds (workers connect here).
+    host: str = "127.0.0.1"
+    #: Broker TCP port; 0 binds an ephemeral port (reported at start).
+    port: int = 0
+    #: Local worker daemons the broker spawns itself at start (the
+    #: one-command distributed path); remote workers may still attach.
+    local_workers: int = 0
+    #: How often a worker daemon heartbeats the broker, seconds.
+    heartbeat_interval_s: float = 0.25
+    #: Silence after which the broker declares a worker dead/partitioned
+    #: and reclaims its leases (missed-heartbeat eviction).
+    heartbeat_timeout_s: float = 2.0
+    #: Lease deadline per dispatched cell, monotonic seconds.  A cell
+    #: whose every lease is past deadline is reclaimed and re-queued.
+    lease_timeout_s: float = 120.0
+    #: Lease age after which an idle worker may *steal* the cell — a
+    #: second lease on the same cell; exactly-once dedup keeps whichever
+    #: result lands first.
+    steal_after_s: float = 30.0
+    #: Upper bound on the seeded random delay before a reclaimed cell is
+    #: re-dispatched (decorrelates thundering-herd re-leases).
+    redispatch_jitter_s: float = 0.1
+    #: Re-dispatches allowed per cell after eviction/expiry incidents
+    #: before the cell fails with kind="timeout"/"quarantined".
+    max_retries: int = 3
+    #: Worker-fatal incidents (evictions while holding the cell) blamed
+    #: on one cell before it is quarantined.
+    quarantine_after: int = 2
+    #: With work outstanding and *no* live worker for this long, the
+    #: broker stops serving and finishes the campaign with in-process
+    #: serial execution (the supervisor ladder's last rung).
+    no_worker_grace_s: float = 30.0
+    #: Broker control-loop poll interval, seconds (granularity of
+    #: eviction/expiry sweeps).
+    poll_interval_s: float = 0.05
+    #: Delay an idle worker is told to wait before asking again.
+    idle_wait_s: float = 0.1
+
+    def validate(self) -> None:
+        if not self.host:
+            raise ConfigError("host must be non-empty")
+        if not 0 <= self.port <= 65535:
+            raise ConfigError(f"port {self.port} outside [0, 65535]")
+        if self.local_workers < 0:
+            raise ConfigError("local_workers must be >= 0")
+        for name in ("heartbeat_interval_s", "heartbeat_timeout_s",
+                     "lease_timeout_s", "steal_after_s",
+                     "no_worker_grace_s", "poll_interval_s", "idle_wait_s"):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"{name} must be positive")
+        if self.redispatch_jitter_s < 0:
+            raise ConfigError("redispatch_jitter_s must be >= 0")
+        if self.heartbeat_interval_s >= self.heartbeat_timeout_s:
+            raise ConfigError(
+                "heartbeat_interval_s must be shorter than "
+                "heartbeat_timeout_s (or every worker gets evicted)"
+            )
+        if self.max_retries < 0:
+            raise ConfigError("max_retries must be >= 0")
+        if self.quarantine_after < 1:
+            raise ConfigError("quarantine_after must be >= 1")
+
+
+@dataclass(frozen=True)
 class SimulationConfig:
     """Bundle of all subsystem configurations plus the global RNG seed."""
 
@@ -496,6 +574,7 @@ class SimulationConfig:
     recovery: RecoveryConfig = field(default_factory=RecoveryConfig)
     executor: ExecutorConfig = field(default_factory=ExecutorConfig)
     supervisor: SupervisorConfig = field(default_factory=SupervisorConfig)
+    service: ServiceConfig = field(default_factory=ServiceConfig)
     seed: int = 20210705
 
     def validate(self) -> "SimulationConfig":
@@ -511,6 +590,7 @@ class SimulationConfig:
         self.recovery.validate()
         self.executor.validate()
         self.supervisor.validate()
+        self.service.validate()
         if self.pdn.v_nominal != self.delay.v_nominal:
             raise ConfigError(
                 "PDN and delay model disagree on nominal voltage: "

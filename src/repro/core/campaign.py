@@ -227,8 +227,11 @@ def run_campaign(attack: DeepStrike, images: np.ndarray,
                  recipe=None,
                  cache=None,
                  supervisor=None,
+                 service=None,
                  fault_hook=None,
+                 shard_hook=None,
                  stats=None,
+                 on_bound=None,
                  ) -> CampaignResult:
     """Execute a campaign with the given attacker.
 
@@ -284,10 +287,31 @@ def run_campaign(attack: DeepStrike, images: np.ndarray,
         poison cells are quarantined, and repeated pool deaths degrade
         the worker count rather than aborting.  ``enabled=False``
         restores the raw fail-fast executor.
+    service:
+        A :class:`~repro.config.ServiceConfig`: run the campaign as a
+        socket-served broker (:mod:`repro.core.service`) instead of a
+        local pool.  This process binds ``host:port``, spawns
+        ``service.local_workers`` worker daemons, and leases pending
+        cells to whoever registers (``repro work --broker`` attaches
+        more workers from anywhere).  Lease expiry, missed-heartbeat
+        eviction, work stealing, and exactly-once result dedup keep the
+        merged checkpoint byte-identical to a serial run; if no worker
+        stays alive for ``no_worker_grace_s`` the broker finishes the
+        remaining cells in-process.  Mutually exclusive with
+        ``workers > 1``.
     fault_hook:
-        Supervisor-only test/chaos hook ``(target, count, attempt) ->
-        directive`` consulted at each dispatch; see
+        Supervisor/service test-and-chaos hook ``(target, count,
+        attempt) -> directive`` consulted at each dispatch; see
         :meth:`repro.chaos.ChaosInjector.cell_fault`.
+    shard_hook:
+        Service-only hook ``(target, count, attempt) -> directive``
+        mangling *result delivery* (disconnect / duplicate / delay);
+        see :meth:`repro.chaos.ChaosInjector.shard_fault`.  Ignored
+        without ``service``.
+    on_bound:
+        Service-only callback receiving the broker's bound ``(host,
+        port)`` before serving starts (the CLI prints it; tests attach
+        workers to it).
     stats:
         A :class:`~repro.core.supervisor.SupervisorStats` mutated in
         place with dispatch/retry/cache counters (works for serial runs
@@ -296,6 +320,12 @@ def run_campaign(attack: DeepStrike, images: np.ndarray,
     """
     if workers < 1:
         raise ConfigError(f"workers must be >= 1, got {workers}")
+    if service is not None and workers > 1:
+        raise ConfigError(
+            "service= and workers>1 are mutually exclusive; a service "
+            "campaign parallelizes through registered workers "
+            "(service.local_workers, repro work --broker)"
+        )
     plan_spec = spec
     outcomes: Dict[Tuple[str, int], AttackOutcome] = {}
     failures: Dict[Tuple[str, int], CellFailure] = {}
@@ -353,6 +383,19 @@ def run_campaign(attack: DeepStrike, images: np.ndarray,
                 )
 
     try:
+        if service is not None:
+            from .executor import WorkerRecipe
+            from .service import run_service
+
+            active_recipe = recipe if recipe is not None \
+                else WorkerRecipe.from_attack(attack)
+            return run_service(
+                active_recipe, images, labels, plan_spec, clean,
+                outcomes, failures, config=service,
+                checkpoint_path=checkpoint_path, before_cell=before_cell,
+                fault_hook=fault_hook, shard_hook=shard_hook, stats=stats,
+                cache=cache_obj, digest=digest, on_bound=on_bound)
+
         if workers > 1:
             from .executor import WorkerRecipe, run_parallel
 

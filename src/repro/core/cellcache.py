@@ -26,22 +26,31 @@ can lose entries, it must never serve a wrong one.  The byte-parity
 contract extends through the cache: a warm-cache campaign merges cached
 outcomes into checkpoint JSON byte-identical to a cold serial run
 (``tests/core/test_cellcache.py``).
+
+A cache can also be *bounded* (``max_bytes=`` or ``repro cache gc``):
+least-recently-used whole entries are unlinked until the directory
+fits, so a long-lived shared cache — the campaign service points every
+worker at one — cannot grow without limit, and pruning can never
+corrupt a surviving entry.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from ..config import SimulationConfig
+from ..errors import ConfigError
 from .evaluation import AttackOutcome
 
-__all__ = ["CellCache", "CellCacheStats", "campaign_digest"]
+__all__ = ["CacheGCReport", "CellCache", "CellCacheStats",
+           "campaign_digest"]
 
 ENTRY_FORMAT_VERSION = 1
 
@@ -93,6 +102,18 @@ class CellCacheStats:
     misses: int = 0
     corrupt: int = 0  # entries present but unreadable (treated as misses)
     stores: int = 0
+    pruned: int = 0   # entries evicted by LRU garbage collection
+
+
+@dataclass
+class CacheGCReport:
+    """What one :meth:`CellCache.gc` pass did (printed by
+    ``repro cache gc``)."""
+
+    entries_kept: int = 0
+    entries_pruned: int = 0
+    bytes_kept: int = 0
+    bytes_pruned: int = 0
 
 
 @dataclass
@@ -105,10 +126,18 @@ class CellCache:
     """
 
     root: Path
+    #: Optional size bound.  When set, every :meth:`put` that pushes the
+    #: cache past this many bytes prunes least-recently-*used* entries
+    #: (hits refresh an entry's mtime) until it fits again.  None means
+    #: unbounded — the pre-existing behaviour.
+    max_bytes: Optional[int] = None
     stats: CellCacheStats = field(default_factory=CellCacheStats)
 
     def __post_init__(self) -> None:
         self.root = Path(self.root)
+        if self.max_bytes is not None and self.max_bytes < 0:
+            raise ConfigError(
+                f"cache max_bytes must be >= 0, got {self.max_bytes}")
 
     # -- addressing -----------------------------------------------------------
 
@@ -159,6 +188,10 @@ class CellCache:
                 pass
             return None
         self.stats.hits += 1
+        try:
+            os.utime(path)  # refresh recency so LRU gc spares hot entries
+        except OSError:
+            pass
         return outcome
 
     def put(self, key: str, outcome: AttackOutcome) -> None:
@@ -176,6 +209,59 @@ class CellCache:
         path.parent.mkdir(parents=True, exist_ok=True)
         _atomic_write_text(path, json.dumps(entry, indent=2) + "\n")
         self.stats.stores += 1
+        if self.max_bytes is not None:
+            self.gc()
+
+    # -- garbage collection ---------------------------------------------------
+
+    def _entries(self) -> List[Tuple[float, int, Path]]:
+        """Every entry as ``(mtime, size, path)`` (missing files — a
+        concurrent gc or unlink — are skipped, never an error)."""
+        out = []
+        for shard in sorted(self.root.glob("??")):
+            if not shard.is_dir():
+                continue
+            for path in sorted(shard.glob("*.json")):
+                try:
+                    st = path.stat()
+                except OSError:
+                    continue
+                out.append((st.st_mtime, st.st_size, path))
+        return out
+
+    def gc(self, max_bytes: Optional[int] = None) -> CacheGCReport:
+        """Prune least-recently-used entries until the cache fits.
+
+        ``max_bytes`` defaults to the cache's own bound (a no-op report
+        when neither is set).  Eviction order is mtime, oldest first —
+        and since :meth:`get` touches an entry's mtime on every hit,
+        that is least-recently-*used*, not least-recently-written.
+        Pruning only ever unlinks whole entry files, so surviving
+        entries are untouched bytes and remain integrity-clean; a
+        pruned entry is a future cache miss, never an error.
+        """
+        limit = max_bytes if max_bytes is not None else self.max_bytes
+        report = CacheGCReport()
+        entries = self._entries()
+        if limit is None:
+            report.entries_kept = len(entries)
+            report.bytes_kept = sum(size for _, size, _ in entries)
+            return report
+        total = sum(size for _, size, _ in entries)
+        for mtime, size, path in sorted(entries):  # oldest first
+            if total <= limit:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            report.entries_pruned += 1
+            report.bytes_pruned += size
+            self.stats.pruned += 1
+        report.entries_kept = len(entries) - report.entries_pruned
+        report.bytes_kept = total
+        return report
 
     # -- bulk helpers ---------------------------------------------------------
 

@@ -1,0 +1,252 @@
+"""The campaign worker daemon: lease, execute, deliver, repeat.
+
+A worker owns no campaign state.  It registers with the broker
+(:mod:`~repro.core.service.broker`), receives the *job* — a data-only
+:class:`~repro.core.executor.WorkerRecipe`, the evaluation slice, the
+clean baseline, the base seed, and (optionally) a shared cell-cache
+address — rebuilds the attack stack exactly like a pool worker, then
+loops: lease a cell, execute it under its blake2s-derived seed, deliver
+the result, ask for the next.
+
+Delivery is *at-least-once* by design.  The worker retries failed
+exchanges on fresh connections, chaos shard directives make it
+duplicate or drop frames on purpose, and a stolen cell may complete on
+two workers at once — the broker's settled-set dedup is the component
+under test, so the worker never tries to be clever about it.
+
+Liveness is a side thread beating every ``heartbeat_interval_s`` (the
+broker tells it the cadence in the job payload).  Heartbeat failures
+are ignored here: the *broker's* sweep is the arbiter of worker death,
+and a worker that was merely partitioned re-registers simply by
+talking again.
+
+Chaos surfaces, both honoured between lease and delivery:
+
+* ``fault`` — the supervisor-era per-cell directives, applied via
+  :func:`repro.core.executor._apply_fault` (``kill`` dies like an OOM
+  kill, no teardown; ``hang`` stalls past the lease);
+* ``shard`` — the service-era delivery directives
+  (:meth:`repro.chaos.ChaosInjector.shard_fault`): ``disconnect``
+  abandons the result so the lease must expire, ``duplicate`` delivers
+  it twice, ``delay`` sleeps before delivering.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from ...errors import ProtocolError, ReproError
+from .. import executor as _exec
+from ..campaign import CellFailure, _execute_cell
+from ..cellcache import CellCache
+from .protocol import decode_array, decode_recipe, recv_msg, send_msg
+
+__all__ = ["WorkerReport", "run_worker"]
+
+
+@dataclass
+class WorkerReport:
+    """What one worker did before exiting (returned by :func:`run_worker`,
+    printed by ``repro work``)."""
+
+    worker_id: str
+    executed: int = 0           # cells actually computed here
+    cache_hits: int = 0         # cells served from the shared cell cache
+    failures_delivered: int = 0  # in-cell ReproErrors turned into verdicts
+    duplicates_sent: int = 0    # chaos 'duplicate' shard directives honoured
+    results_dropped: int = 0    # chaos 'disconnect' shard directives honoured
+
+    def describe(self) -> Dict[str, object]:
+        return {k: getattr(self, k) for k in (
+            "worker_id", "executed", "cache_hits", "failures_delivered",
+            "duplicates_sent", "results_dropped")}
+
+
+def _default_worker_id() -> str:
+    return (f"{socket.gethostname()}-{os.getpid()}-"
+            f"{os.urandom(3).hex()}")
+
+
+def _rpc(address: Tuple[str, int], msg: dict, timeout: float = 10.0) -> dict:
+    """One exchange on a fresh connection (request -> reply -> close).
+
+    Connection-per-exchange keeps the worker stateless on the wire: a
+    broker restart, a dropped socket, or a chaos disconnect costs one
+    exchange, never a session.
+    """
+    with socket.create_connection(address, timeout=timeout) as sock:
+        send_msg(sock, msg)
+        reply = recv_msg(sock)
+    if reply is None:
+        raise ProtocolError("broker closed the connection without replying")
+    if reply.get("type") == "error":
+        raise ProtocolError(f"broker refused: {reply.get('message')}")
+    return reply
+
+
+@dataclass
+class _Heartbeat:
+    """Side thread beating ``beat`` frames at the broker's cadence."""
+
+    address: Tuple[str, int]
+    worker_id: str
+    interval_s: float
+    _stop: threading.Event = field(default_factory=threading.Event)
+    _thread: Optional[threading.Thread] = None
+
+    def start(self) -> None:
+        self._thread = threading.Thread(target=self._loop, daemon=True,
+                                        name=f"beat-{self.worker_id}")
+        self._thread.start()
+
+    def _loop(self) -> None:
+        beat = {"type": "beat", "worker": self.worker_id}
+        while not self._stop.wait(self.interval_s):
+            try:
+                _rpc(self.address, beat, timeout=self.interval_s * 4)
+            except (ProtocolError, OSError):
+                pass  # the broker's sweep decides death, not this thread
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+
+
+def run_worker(address: Tuple[str, int], *,
+               worker_id: Optional[str] = None,
+               cache_dir=None,
+               join_retries: int = 40,
+               join_retry_s: float = 0.25,
+               max_consecutive_failures: int = 12,
+               failure_backoff_s: float = 0.25) -> WorkerReport:
+    """Serve one broker until its campaign is done; returns a report.
+
+    ``join_retries`` covers the race where a worker starts before the
+    broker binds; ``max_consecutive_failures`` bounds how long a worker
+    survives a broker that went away mid-campaign (each failed exchange
+    backs off ``failure_backoff_s``).  ``cache_dir`` overrides the
+    shared cell-cache root the job advertises (None accepts the job's).
+    """
+    report = WorkerReport(worker_id=worker_id or _default_worker_id())
+    hello = {"type": "hello", "worker": report.worker_id}
+    job = None
+    for attempt in range(join_retries):
+        try:
+            job = _rpc(address, hello)
+            break
+        except (ProtocolError, OSError):
+            if attempt == join_retries - 1:
+                raise
+            time.sleep(join_retry_s)
+    assert job is not None and job.get("type") == "job", job
+
+    recipe = decode_recipe(job["recipe"])
+    images = decode_array(job["images"])
+    labels = decode_array(job["labels"])
+    clean = job.get("clean")
+    base_seed = int(job["base_seed"])
+    digest = job.get("digest")
+    cache_root = cache_dir if cache_dir is not None else job.get("cache_root")
+    cache = (CellCache(Path(cache_root))
+             if cache_root is not None and digest is not None else None)
+    state = _exec._build_state(recipe, images, labels, clean)
+
+    heart = _Heartbeat(address, report.worker_id,
+                       float(job.get("heartbeat_interval_s", 0.25)))
+    heart.start()
+    failures = 0
+    try:
+        while True:
+            try:
+                reply = _rpc(address, {"type": "lease",
+                                       "worker": report.worker_id})
+            except (ProtocolError, OSError):
+                failures += 1
+                if failures >= max_consecutive_failures:
+                    return report  # broker is gone; exit quietly
+                time.sleep(failure_backoff_s)
+                continue
+            failures = 0
+            kind = reply.get("type")
+            if kind == "done":
+                return report
+            if kind == "wait":
+                time.sleep(float(reply.get("delay", 0.05)))
+                continue
+            if kind != "assign":
+                failures += 1
+                continue
+            _run_cell(address, reply, state, base_seed, cache, digest,
+                      report)
+    finally:
+        heart.stop()
+        try:
+            _rpc(address, {"type": "bye", "worker": report.worker_id},
+                 timeout=2.0)
+        except (ProtocolError, OSError):
+            pass
+
+
+def _run_cell(address: Tuple[str, int], assign: dict,
+              state, base_seed: int, cache: Optional[CellCache],
+              digest: Optional[str], report: WorkerReport) -> None:
+    """Execute one assigned cell and deliver its result (or honour a
+    shard directive telling us to mangle the delivery)."""
+    target = str(assign["target"])
+    count = int(assign["count"])
+    _exec._apply_fault(assign.get("fault"))  # kill/hang, pre-execution
+
+    key = None
+    outcome = None
+    if cache is not None:
+        key = cache.cell_key(digest, target, count, base_seed)
+        outcome = cache.get(key)
+    cached = outcome is not None
+    if cached:
+        report.cache_hits += 1
+        result = {"kind": "outcome", "payload": vars(outcome).copy()}
+    else:
+        try:
+            outcome = _execute_cell(state.attack, state.blind_box,
+                                    state.images, state.labels, base_seed,
+                                    target, count, clean=state.clean)
+        except ReproError as exc:
+            report.failures_delivered += 1
+            failure = CellFailure(target_layer=target, n_strikes=count,
+                                  error_type=type(exc).__name__,
+                                  message=str(exc), kind="error")
+            result = {"kind": "failure", "payload": vars(failure).copy()}
+        else:
+            report.executed += 1
+            if key is not None:
+                cache.put(key, outcome)
+            result = {"kind": "outcome", "payload": vars(outcome).copy()}
+
+    shard = assign.get("shard") or {}
+    if shard.get("delay"):
+        time.sleep(float(shard["delay"]))
+    if shard.get("disconnect"):
+        # Simulated partition: the computed result never reaches the
+        # broker; its lease expires and the cell is re-dispatched.
+        report.results_dropped += 1
+        return
+    msg = {"type": "result", "worker": report.worker_id,
+           "target": target, "count": count, "cached": cached, **result}
+    deliveries = 2 if shard.get("duplicate") else 1
+    if deliveries == 2:
+        report.duplicates_sent += 1
+    for _ in range(deliveries):
+        try:
+            _rpc(address, msg)
+        except (ProtocolError, OSError):
+            # Lost delivery degrades to the disconnect case: the lease
+            # expires and the broker re-dispatches.  At-least-once, not
+            # exactly-once, is this side's contract.
+            return

@@ -67,6 +67,13 @@ from .evaluation import AttackOutcome
 
 __all__ = ["SupervisorStats", "run_supervised"]
 
+#: Lease deadlines are measured on this clock — monotonic, so a frozen
+#: or backwards-jumping *wall* clock can never expire (or immortalize)
+#: a lease.  Module-level indirection so tests can substitute a fake
+#: clock and drive the lease machinery deterministically
+#: (``tests/core/test_supervisor.py``).
+_monotonic = time.monotonic
+
 Cell = Tuple[str, int]
 
 #: Seed salt for the backoff-jitter stream (decorrelation only — jitter
@@ -217,7 +224,7 @@ class _Supervisor:
                 future = pool.submit(_exec._worker_cell, cell[0], cell[1],
                                      self.spec.seed, fault)
                 futures[future] = cell
-                deadlines[future] = (time.monotonic() + cfg.cell_timeout_s
+                deadlines[future] = (_monotonic() + cfg.cell_timeout_s
                                      if cfg.cell_timeout_s else None)
 
             while queue and len(futures) < size:
@@ -249,7 +256,7 @@ class _Supervisor:
                         lost=list(queue))
                     return incident
                 if cfg.cell_timeout_s:
-                    now = time.monotonic()
+                    now = _monotonic()
                     expired = [f for f in list(futures)
                                if deadlines.get(f) is not None
                                and now > deadlines[f]]

@@ -74,6 +74,19 @@ class ChaosError(ReproError):
     """A failure injected by the chaos harness (not a real library bug)."""
 
 
+class ProtocolError(ReproError):
+    """A campaign-service wire frame was malformed or oversized.
+
+    Raised by :mod:`repro.core.service.protocol` when a peer sends a
+    frame that cannot be parsed: a truncated length prefix, a frame
+    ending mid-payload, a length beyond ``MAX_FRAME_BYTES``, or a
+    payload that is not a JSON object.  The broker treats a connection
+    raising this as dead (the worker's leases are reclaimed by the
+    heartbeat sweep); a worker treats it as a failed exchange and
+    retries on a fresh connection.
+    """
+
+
 class WorkerCrashError(ReproError):
     """A campaign worker process died without returning a result.
 

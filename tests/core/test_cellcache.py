@@ -129,6 +129,92 @@ class TestEntryIntegrity:
         assert cache.get(key) is None
 
 
+class TestBoundedCache:
+    """LRU size bounds: pruning drops whole stale entries, never bytes
+    of a survivor — a bounded cache loses history, not integrity."""
+
+    def fill(self, cache, counts):
+        """Store one entry per count with strictly increasing mtimes."""
+        import os
+
+        keys = {}
+        for i, count in enumerate(counts):
+            key = cache.cell_key(DIGEST, "pool1", count, 5)
+            cache.put(key, outcome(n_strikes=count))
+            os.utime(cache._entry_path(key), (1000.0 + i, 1000.0 + i))
+            keys[count] = key
+        return keys
+
+    def entry_bytes(self, cache, key):
+        return cache._entry_path(key).stat().st_size
+
+    def test_gc_prunes_oldest_first_to_the_bound(self, tmp_path):
+        cache = CellCache(tmp_path / "cache")
+        keys = self.fill(cache, [40, 80, 120])
+        size = self.entry_bytes(cache, keys[40])
+        report = cache.gc(max_bytes=2 * size + 64)
+        assert report.entries_pruned == 1 and report.entries_kept == 2
+        assert cache.stats.pruned == 1
+        assert cache.get(keys[40]) is None          # oldest fell
+        assert cache.get(keys[80]) == outcome(n_strikes=80)
+        assert cache.get(keys[120]) == outcome(n_strikes=120)
+
+    def test_pruning_never_corrupts_survivors(self, tmp_path):
+        """Acceptance for the bound: after any gc, every surviving
+        entry still round-trips bit-perfectly (corrupt == 0) and every
+        pruned entry is a clean miss, not an error."""
+        cache = CellCache(tmp_path / "cache")
+        counts = [40, 80, 120, 160, 200]
+        keys = self.fill(cache, counts)
+        size = self.entry_bytes(cache, keys[40])
+        cache.gc(max_bytes=2 * size + 64)
+        survivors = [c for c in counts if cache._entry_path(keys[c]).exists()]
+        assert len(survivors) == 2
+        for count in counts:
+            got = cache.get(keys[count])
+            if count in survivors:
+                assert got == outcome(n_strikes=count)
+            else:
+                assert got is None
+        assert cache.stats.corrupt == 0
+
+    def test_hits_refresh_recency_so_gc_spares_hot_entries(self, tmp_path):
+        cache = CellCache(tmp_path / "cache")
+        keys = self.fill(cache, [40, 80, 120])
+        assert cache.get(keys[40]) is not None  # touch the oldest entry
+        size = self.entry_bytes(cache, keys[40])
+        cache.gc(max_bytes=2 * size + 64)
+        assert cache.get(keys[40]) is not None  # hot: spared
+        assert cache.get(keys[80]) is None      # now the coldest: pruned
+        assert cache.get(keys[120]) is not None
+
+    def test_put_enforces_the_bound_automatically(self, tmp_path):
+        probe = CellCache(tmp_path / "probe")
+        key = probe.cell_key(DIGEST, "pool1", 40, 5)
+        probe.put(key, outcome())
+        size = self.entry_bytes(probe, key)
+
+        cache = CellCache(tmp_path / "cache", max_bytes=2 * size + 64)
+        self.fill(cache, [40, 80, 120, 160])
+        total = sum(p.stat().st_size for p in cache.root.rglob("*.json"))
+        assert total <= 2 * size + 64
+        assert cache.stats.pruned >= 1
+
+    def test_gc_without_a_bound_only_reports(self, tmp_path):
+        cache = CellCache(tmp_path / "cache")
+        keys = self.fill(cache, [40, 80])
+        report = cache.gc()
+        assert report.entries_pruned == 0 and report.entries_kept == 2
+        assert report.bytes_kept > 0
+        assert all(cache.get(k) is not None for k in keys.values())
+
+    def test_negative_bound_refused(self, tmp_path):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            CellCache(tmp_path / "cache", max_bytes=-1)
+
+
 class TestContentAddressing:
     def test_any_recipe_change_moves_the_address(self, victim):
         """Config knob, bank size, eval slice — each shifts the digest,

@@ -1,0 +1,475 @@
+"""Campaign-service contract: remote leases heal, parity survives the wire.
+
+The broker's promise is the supervisor's, extended across a socket: a
+campaign whose workers are killed, partitioned, or duplicated must
+still converge — with no manual intervention — to JSON byte-identical
+to a clean serial run.  The pure lease state machine (`_LeaseBook`) is
+driven here with a fake monotonic clock, the wire protocol with
+socketpairs, and the whole service end-to-end with real broker-spawned
+worker processes.
+"""
+
+import json
+import multiprocessing as mp
+import socket
+import struct
+
+import numpy as np
+import pytest
+
+from repro.chaos import CHAOS_PRESETS, ChaosInjector, ChaosSpec
+from repro.config import ServiceConfig
+from repro.core import CampaignSpec, DeepStrike, run_campaign
+from repro.core.campaign import _to_json
+from repro.core.cellcache import CellCache
+from repro.core.executor import WorkerRecipe
+from repro.core.service import ServiceStats, parse_address
+from repro.core.service.broker import _LeaseBook
+from repro.core.service.protocol import (
+    MAX_FRAME_BYTES,
+    decode_array,
+    decode_recipe,
+    encode_array,
+    encode_recipe,
+    recv_msg,
+    send_msg,
+)
+from repro.errors import ProtocolError
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in mp.get_all_start_methods(),
+    reason="service tests spawn local worker daemons via fork")
+
+
+@pytest.fixture(scope="module")
+def victim():
+    from repro.zoo import get_pretrained
+
+    return get_pretrained()
+
+
+@pytest.fixture(scope="module")
+def spec3():
+    return CampaignSpec(sweeps=(("pool1", (40, 80, 120)),), eval_images=16,
+                        seed=5)
+
+
+def fresh_attack(victim):
+    from repro.accel import AcceleratorEngine
+
+    engine = AcceleratorEngine(victim.quantized,
+                               rng=np.random.default_rng(66))
+    return DeepStrike(engine, rng=np.random.default_rng(77))
+
+
+def run(victim, spec, **kwargs):
+    return run_campaign(fresh_attack(victim), victim.dataset.test_images,
+                        victim.dataset.test_labels, spec, **kwargs)
+
+
+@pytest.fixture(scope="module")
+def serial_json(victim, spec3):
+    """The clean serial artifact every distributed run must reproduce."""
+    return _to_json(run(victim, spec3), complete=True)
+
+
+def service_config(**overrides):
+    """A ServiceConfig tuned for tests: fast heartbeats, short grace."""
+    defaults = dict(local_workers=2, heartbeat_interval_s=0.1,
+                    heartbeat_timeout_s=0.8, lease_timeout_s=60.0,
+                    steal_after_s=30.0, no_worker_grace_s=20.0,
+                    redispatch_jitter_s=0.05)
+    defaults.update(overrides)
+    return ServiceConfig(**defaults)
+
+
+# ---------------------------------------------------------------------------
+# Wire protocol
+# ---------------------------------------------------------------------------
+
+
+class TestProtocol:
+    def test_round_trip_over_socketpair(self):
+        a, b = socket.socketpair()
+        with a, b:
+            msgs = [{"type": "hello", "worker": "w1"},
+                    {"type": "assign", "target": "pool1", "count": 40,
+                     "attempt": 0, "fault": None,
+                     "shard": {"duplicate": True}}]
+            for msg in msgs:
+                send_msg(a, msg)
+            assert [recv_msg(b) for _ in msgs] == msgs
+
+    def test_clean_eof_is_none(self):
+        a, b = socket.socketpair()
+        with b:
+            a.close()
+            assert recv_msg(b) is None
+
+    def test_torn_frame_raises(self):
+        a, b = socket.socketpair()
+        with b:
+            a.sendall(struct.pack(">I", 100) + b'{"type":')  # then dies
+            a.close()
+            with pytest.raises(ProtocolError):
+                recv_msg(b)
+
+    def test_oversized_frame_refused_without_reading_it(self):
+        a, b = socket.socketpair()
+        with a, b:
+            a.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+            with pytest.raises(ProtocolError):
+                recv_msg(b)
+
+    def test_non_object_payload_refused(self):
+        a, b = socket.socketpair()
+        with a, b:
+            payload = b'[1, 2]'
+            a.sendall(struct.pack(">I", len(payload)) + payload)
+            with pytest.raises(ProtocolError):
+                recv_msg(b)
+
+    def test_parse_address(self):
+        assert parse_address("10.0.0.7:9000") == ("10.0.0.7", 9000)
+        assert parse_address(":9000") == ("127.0.0.1", 9000)
+        assert parse_address("host:0", allow_zero=True) == ("host", 0)
+        for bad in ("nocolon", "host:notaport", "host:0", "host:70000"):
+            with pytest.raises(ProtocolError):
+                parse_address(bad)
+
+    def test_array_codec_is_bit_exact(self):
+        rng = np.random.default_rng(3)
+        for arr in (rng.normal(size=(4, 7, 3)),
+                    rng.integers(0, 10, size=(5,), dtype=np.uint8),
+                    np.array([], dtype=np.float32)):
+            out = decode_array(json.loads(json.dumps(encode_array(arr))))
+            assert out.dtype == arr.dtype and out.shape == arr.shape
+            assert np.array_equal(out, arr)
+
+    def test_bad_array_payload_raises(self):
+        with pytest.raises(ProtocolError):
+            decode_array({"dtype": "f8", "data": "xx"})
+
+    def test_recipe_round_trips_through_json(self):
+        recipe = WorkerRecipe(bank_cells=1234)
+        wire = json.loads(json.dumps(encode_recipe(recipe)))
+        assert decode_recipe(wire) == recipe
+
+    def test_recipe_unknown_field_refused(self):
+        wire = encode_recipe(WorkerRecipe())
+        wire["surprise"] = 1
+        with pytest.raises(ProtocolError):
+            decode_recipe(wire)
+
+
+# ---------------------------------------------------------------------------
+# The lease state machine, on a fake clock
+# ---------------------------------------------------------------------------
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.t = 100.0
+
+    def __call__(self) -> float:
+        return self.t
+
+
+def book(cells=(("pool1", 40), ("pool1", 80)), **overrides):
+    defaults = dict(heartbeat_timeout_s=2.0, lease_timeout_s=10.0,
+                    steal_after_s=5.0, redispatch_jitter_s=0.0,
+                    max_retries=3, quarantine_after=2)
+    defaults.update(overrides)
+    clock = FakeClock()
+    return _LeaseBook(list(cells), ServiceConfig(**defaults), seed=5,
+                      clock=clock), clock
+
+
+class TestLeaseBook:
+    def test_grants_in_canonical_order_then_waits(self):
+        b, _ = book()
+        b.register("w")
+        assert b.grant("w") == (("pool1", 40), 0, False)
+        assert b.grant("w") == (("pool1", 80), 0, False)
+        assert b.grant("w") is None
+
+    def test_delivery_dedup_is_exactly_once(self):
+        b, _ = book()
+        b.register("w")
+        cell, _, _ = b.grant("w")
+        assert b.deliver(cell) is True
+        assert b.deliver(cell) is False  # duplicate dropped
+        assert not b.done()
+
+    def test_missed_heartbeats_evict_and_requeue_with_blame(self):
+        b, clock = book()
+        b.register("w")
+        cell, _, _ = b.grant("w")
+        clock.t += 2.5  # past heartbeat_timeout_s
+        evicted, expiries, verdicts = b.sweep()
+        assert evicted == ["w"] and expiries == 0 and verdicts == []
+        assert b.blames[cell] == 1
+        assert cell in b.queue  # reclaimed for re-dispatch
+
+    def test_frozen_clock_never_expires_a_lease(self):
+        b, clock = book(lease_timeout_s=0.001)
+        b.register("w")
+        b.grant("w")
+        for _ in range(50):  # clock frozen: sweep forever, nothing expires
+            b.beat("w")
+            assert b.sweep() == ([], 0, [])
+
+    def test_jumped_clock_expires_the_lease(self):
+        b, clock = book()
+        b.register("w")
+        cell, _, _ = b.grant("w")
+        clock.t += 11.0
+        b.beat("w")  # still alive, just slow
+        evicted, expiries, verdicts = b.sweep()
+        assert evicted == [] and expiries == 1 and verdicts == []
+        assert b.expiries[cell] == 1 and cell in b.queue
+
+    def test_redispatch_jitter_holds_the_cell_briefly(self):
+        b, clock = book(cells=[("pool1", 40)], redispatch_jitter_s=5.0)
+        b.register("w")
+        cell, _, _ = b.grant("w")
+        clock.t += 11.0
+        b.beat("w")
+        b.sweep()
+        held = b.ready_at[cell]
+        assert clock.t < held <= clock.t + 5.0
+        assert b.grant("w") is None        # not ready yet
+        clock.t = held
+        assert b.grant("w") == (cell, 1, False)
+
+    def test_idle_worker_steals_only_stale_leases_of_others(self):
+        b, clock = book(cells=[("pool1", 40)])
+        b.register("a")
+        b.register("b")
+        cell, _, _ = b.grant("a")
+        assert b.grant("b") is None       # lease too young to steal
+        clock.t += 6.0                    # past steal_after_s
+        b.beat("a")
+        assert b.grant("b") == (cell, 1, True)
+        assert b.grant("a") is None       # a already holds it: no re-steal
+        assert b.grant("b") is None       # so does b now
+        assert b.deliver(cell) is True    # first result wins
+        assert b.deliver(cell) is False   # the loser is deduplicated
+
+    def test_repeated_eviction_quarantines_the_cell(self):
+        b, clock = book(cells=[("pool1", 40)], quarantine_after=2)
+        for round_no in range(2):
+            b.register("w")
+            b.grant("w")
+            clock.t += 3.0
+            _, _, verdicts = b.sweep()
+        assert len(verdicts) == 1
+        (cell, failure), = verdicts
+        assert failure.kind == "quarantined"
+        assert b.done()
+
+    def test_chronic_expiry_exhausts_into_timeout(self):
+        b, clock = book(cells=[("pool1", 40)], max_retries=1,
+                        quarantine_after=99)
+        verdicts = []
+        for _ in range(3):
+            b.register("w")
+            b.grant("w")
+            clock.t += 11.0
+            b.beat("w")
+            _, _, verdicts = b.sweep()
+            if verdicts:
+                break
+        (cell, failure), = verdicts
+        assert failure.kind == "timeout"
+        assert failure.error_type == "CellLeaseExpiredError"
+
+    def test_late_result_for_requeued_cell_still_counts_once(self):
+        b, clock = book(cells=[("pool1", 40)])
+        b.register("w")
+        cell, _, _ = b.grant("w")
+        clock.t += 3.0
+        b.sweep()                       # w evicted, cell requeued
+        assert cell in b.queue
+        assert b.deliver(cell) is True  # the "dead" worker's result lands
+        assert cell not in b.queue      # and the requeue is cancelled
+        assert b.done()
+
+
+# ---------------------------------------------------------------------------
+# Shard-level chaos directives
+# ---------------------------------------------------------------------------
+
+
+class TestShardChaos:
+    def test_hostile_preset_arms_delivery_faults(self):
+        spec = CHAOS_PRESETS["hostile"]
+        assert spec.worker_disconnect_prob > 0
+        assert spec.result_duplicate_prob > 0
+        assert spec.result_delay_prob > 0
+
+    def test_directives_drawn_at_dispatch_first_attempt_only(self):
+        injector = ChaosInjector(ChaosSpec(
+            worker_disconnect_prob=1.0, result_duplicate_prob=1.0,
+            result_delay_prob=1.0, result_delay_s=0.5, seed=1))
+        injector.campaign_cell_hook("pool1", 40)
+        shard = injector.shard_fault("pool1", 40, attempt=0)
+        assert shard == {"disconnect": True, "duplicate": True,
+                         "delay": 0.5}
+        assert injector.shard_fault("pool1", 40, attempt=1) is None
+        assert injector.shard_fault("pool1", 80, attempt=0) is None
+
+    def test_accessor_draws_nothing(self):
+        injector = ChaosInjector(ChaosSpec(worker_disconnect_prob=0.5,
+                                           result_duplicate_prob=0.5,
+                                           seed=2))
+        injector.campaign_cell_hook("pool1", 40)
+        state = json.dumps(injector.rng.bit_generator.state)
+        for _ in range(5):
+            injector.shard_fault("pool1", 40)
+            injector.cell_fault("pool1", 40)
+        assert json.dumps(injector.rng.bit_generator.state) == state
+
+    def test_draw_sequence_is_canonical_across_injectors(self):
+        spec = ChaosSpec(worker_kill_prob=0.3, worker_disconnect_prob=0.3,
+                         result_duplicate_prob=0.3, result_delay_prob=0.3,
+                         seed=7)
+        a, b = ChaosInjector(spec), ChaosInjector(spec)
+        cells = [("pool1", c) for c in (40, 80, 120)]
+        for target, count in cells:
+            a.campaign_cell_hook(target, count)
+            b.campaign_cell_hook(target, count)
+        assert a._shard_faults == b._shard_faults
+        assert a._cell_faults == b._cell_faults
+
+
+# ---------------------------------------------------------------------------
+# End-to-end acceptance
+# ---------------------------------------------------------------------------
+
+
+class TestDistributedParity:
+    def test_kill_disconnect_duplicate_merges_serial_bytes(
+            self, victim, spec3, serial_json, tmp_path):
+        """The issue's acceptance scenario: a two-worker campaign where
+        one worker is killed mid-cell, one result frame is dropped, and
+        one result is delivered twice — and the merged checkpoint is
+        byte-identical to the serial run."""
+        def fault(target, count, attempt):
+            if (target, count, attempt) == ("pool1", 40, 0):
+                return ("kill", 0)
+            return None
+
+        def shard(target, count, attempt):
+            if attempt:
+                return None
+            if (target, count) == ("pool1", 80):
+                return {"disconnect": True}
+            if (target, count) == ("pool1", 120):
+                return {"duplicate": True}
+            return None
+
+        stats = ServiceStats()
+        ckpt = tmp_path / "ckpt.json"
+        result = run(victim, spec3, checkpoint_path=ckpt,
+                     service=service_config(lease_timeout_s=4.0),
+                     fault_hook=fault, shard_hook=shard, stats=stats)
+        assert _to_json(result, complete=True) == serial_json
+        assert stats.workers_evicted >= 1      # the kill
+        assert stats.lease_expiries >= 1       # the dropped result
+        assert stats.duplicates_dropped >= 1   # the double delivery
+        assert stats.retries >= 2
+        assert stats.serial_fallback is False
+        assert json.loads(ckpt.read_text())["format_version"] == 2
+
+    def test_warm_shared_cache_dispatches_zero_cells(
+            self, victim, spec3, serial_json, tmp_path):
+        """Acceptance: a rerun against the shared cache re-executes
+        nothing — every cell is served from disk, byte parity holds."""
+        cache_dir = tmp_path / "cells"
+        first = ServiceStats()
+        result = run(victim, spec3, service=service_config(),
+                     cache=cache_dir, stats=first)
+        assert _to_json(result, complete=True) == serial_json
+        assert first.dispatched == len(spec3.cells())
+
+        warm = ServiceStats()
+        result = run(victim, spec3, service=service_config(),
+                     cache=cache_dir, stats=warm)
+        assert _to_json(result, complete=True) == serial_json
+        assert warm.dispatched == 0
+        assert warm.cache_hits == len(spec3.cells())
+
+    def test_workers_consult_the_shared_cache(self, victim, spec3,
+                                              serial_json, tmp_path):
+        """Pre-warm the cache with a *serial* run, then serve through
+        run_service directly — bypassing run_campaign's own pre-merge —
+        so every hit must come from a *worker* resolving the cell by
+        content address (the broker counts their cached deliveries)."""
+        from repro.core.cellcache import campaign_digest
+        from repro.core.service import run_service
+
+        cache_dir = tmp_path / "cells"
+        run(victim, spec3, cache=cache_dir)  # serial warm-up
+        attack = fresh_attack(victim)
+        images = victim.dataset.test_images[:spec3.eval_images]
+        labels = victim.dataset.test_labels[:spec3.eval_images]
+        clean = float((attack.clean_predictions(images) == labels).mean())
+        digest = campaign_digest(attack.config, attack.bank_cells,
+                                 attack.engine.model, images, labels)
+        stats = ServiceStats()
+        result = run_service(WorkerRecipe.from_attack(attack), images,
+                             labels, spec3, clean, {}, {},
+                             config=service_config(), stats=stats,
+                             cache=CellCache(cache_dir), digest=digest)
+        assert _to_json(result, complete=True) == serial_json
+        assert stats.cache_hits == len(spec3.cells())  # all worker-side
+        assert stats.dispatched == len(spec3.cells())
+
+    def test_no_worker_degrades_to_in_process_serial(
+            self, victim, spec3, serial_json):
+        """A broker nobody ever joins must not hang: past the grace
+        period it finishes the campaign itself, serially, with parity."""
+        stats = ServiceStats()
+        result = run(victim, spec3,
+                     service=service_config(local_workers=0,
+                                            no_worker_grace_s=0.5),
+                     stats=stats)
+        assert _to_json(result, complete=True) == serial_json
+        assert stats.serial_fallback is True
+        assert stats.dispatched == len(spec3.cells())
+
+    def test_idle_worker_steals_a_wedged_lease(self, victim, spec3,
+                                               serial_json):
+        """One cell hangs for a while on worker A; with the queue
+        drained, worker B steals it past steal_after_s and finishes
+        first.  A's eventual duplicate is dropped; parity holds."""
+        def fault(target, count, attempt):
+            if (target, count, attempt) == ("pool1", 40, 0):
+                return ("hang", 8.0)
+            return None
+
+        stats = ServiceStats()
+        result = run(victim, spec3,
+                     service=service_config(steal_after_s=1.0,
+                                            lease_timeout_s=120.0),
+                     fault_hook=fault, stats=stats)
+        assert _to_json(result, complete=True) == serial_json
+        assert stats.steals >= 1
+        assert stats.lease_expiries == 0  # healed by stealing, not expiry
+
+    def test_chaos_storm_converges_with_parity(self, victim, spec3,
+                                               serial_json):
+        """Seeded kill/disconnect/duplicate/delay chaos all at once;
+        the service still converges to the serial bytes."""
+        injector = ChaosInjector(ChaosSpec(
+            worker_kill_prob=0.3, worker_disconnect_prob=0.3,
+            result_duplicate_prob=0.5, result_delay_prob=0.3,
+            result_delay_s=0.05, seed=11))
+        stats = ServiceStats()
+        result = run(victim, spec3,
+                     service=service_config(lease_timeout_s=4.0),
+                     before_cell=injector.campaign_cell_hook,
+                     fault_hook=injector.cell_fault,
+                     shard_hook=injector.shard_fault, stats=stats)
+        assert _to_json(result, complete=True) == serial_json

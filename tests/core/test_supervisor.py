@@ -193,6 +193,96 @@ class TestDegradation:
         assert stats.quarantined == 0
 
 
+class TestDegradationLadderBoundary:
+    def test_halving_stops_at_one_worker(self):
+        """The ladder's boundary arithmetic: 4 -> 2 -> 1, then incidents
+        at size 1 must not halve below the floor (and must not count as
+        degradations)."""
+        from repro.core.executor import WorkerRecipe
+        from repro.core.supervisor import _Incident, _Supervisor
+
+        spec = CampaignSpec(sweeps=(("pool1", (40,)),), eval_images=4,
+                            seed=0)
+        sup = _Supervisor(
+            WorkerRecipe(), np.zeros((4, 8, 8)), np.zeros(4, dtype=int),
+            spec, 1.0, {}, {}, workers=4,
+            config=SupervisorConfig(degrade_after=1, backoff_base_s=1e-4,
+                                    backoff_max_s=1e-4,
+                                    backoff_jitter=0.0))
+        sizes = [sup.n_workers]
+        for _ in range(4):
+            sup._record_incident(_Incident("crash", [], []))
+            sizes.append(sup.n_workers)
+        assert sizes == [4, 2, 1, 1, 1]
+        assert sup.stats.degradations == 2
+
+    def test_two_workers_degrade_once_then_serial(self, victim, small_spec,
+                                                  serial_json):
+        """From workers=2 the ladder has exactly one halving (2 -> 1)
+        before the serial rung; parity survives the whole descent."""
+        def kill_everything(target, count, attempt):
+            return ("kill", 0)
+
+        stats = SupervisorStats()
+        result = run(victim, small_spec, workers=2,
+                     fault_hook=kill_everything,
+                     supervisor=SupervisorConfig(
+                         degrade_after=1, serial_fallback_after=3,
+                         max_retries=10, quarantine_after=10,
+                         backoff_base_s=0.01, backoff_max_s=0.05),
+                     stats=stats)
+        assert _to_json(result, complete=True) == serial_json
+        assert stats.degradations == 1
+        assert stats.serial_fallback is True
+
+
+class TestClockDiscipline:
+    """Lease deadlines live on the injectable monotonic clock
+    (``supervisor._monotonic``) — wall time never enters the lease
+    machinery, so a frozen or jumping system clock cannot expire (or
+    immortalize) a healthy cell."""
+
+    def test_frozen_clock_never_expires_leases(self, victim, small_spec,
+                                               serial_json, monkeypatch):
+        """With the monotonic source frozen, even an absurdly short
+        lease never lapses: deadline = now forever, nothing expires."""
+        from repro.core import supervisor as sup_mod
+
+        frozen = sup_mod._monotonic()
+        monkeypatch.setattr(sup_mod, "_monotonic", lambda: frozen)
+        stats = SupervisorStats()
+        result = run(victim, small_spec, workers=2,
+                     supervisor=SupervisorConfig(cell_timeout_s=1e-3),
+                     stats=stats)
+        assert _to_json(result, complete=True) == serial_json
+        assert stats.lease_expiries == 0
+
+    def test_jumping_clock_expires_leases_without_wedging(
+            self, victim, small_spec, monkeypatch):
+        """A monotonic source that leaps hours between reads expires
+        every lease instantly — the supervisor must triage its way to a
+        finished campaign (all kind="timeout"), never hang."""
+        from repro.core import supervisor as sup_mod
+
+        state = {"t": 0.0}
+
+        def jumping():
+            state["t"] += 1e6
+            return state["t"]
+
+        monkeypatch.setattr(sup_mod, "_monotonic", jumping)
+        stats = SupervisorStats()
+        result = run(victim, small_spec, workers=2,
+                     supervisor=SupervisorConfig(
+                         cell_timeout_s=3600.0, max_retries=1,
+                         backoff_base_s=0.01, backoff_max_s=0.02),
+                     stats=stats)
+        assert stats.lease_expiries >= 1
+        assert {(f.target_layer, f.n_strikes) for f in result.failures} \
+            == set(small_spec.cells())
+        assert all(f.kind == "timeout" for f in result.failures)
+
+
 class TestAcceptance:
     def test_kill_plus_hang_completes_without_manual_resume(
             self, victim, serial_json, small_spec, tmp_path):
