@@ -31,12 +31,14 @@ import numpy as np
 
 from ..config import DSPConfig, SimulationConfig, default_config
 from ..errors import ConfigError, SimulationError
+from ..nn.ops import im2col
 from ..nn.quantize import QConv, QDense, QuantizedModel
 from ..sensors.delay import GateDelayModel
 from ..dsp.faults import FaultType, TimingFaultModel
 from ..units import ns
 from .mapper import LayerPlan, map_model
 from .schedule import AcceleratorSchedule
+from .xp import get_backend
 
 __all__ = ["StruckCycles", "AcceleratorEngine"]
 
@@ -114,6 +116,26 @@ class AcceleratorEngine:
             self.rng,
         )
         self._plan_by_name: Dict[str, LayerPlan] = {p.name: p for p in self.plans}
+        # Array backend (repro.accel.xp) and dtype policy.  The exact
+        # fixed-point path always runs plain numpy — its byte-parity
+        # contract is stated in numpy semantics — while the fp32 fast
+        # path routes its big matmuls through the backend.
+        self.backend = get_backend(self.config.backend)
+        self.dtype_policy = self.config.dtype_policy
+        # Per-stage float32 weight/bias twins for the fp32 fast path
+        # (weights live on the backend device), built lazily.
+        self._fp32_cache: Dict[str, tuple] = {}
+        # Reusable draw buffers for the batched uniform matrices: the
+        # same (images, ops) shapes recur every batch of a campaign
+        # cell, and rng.random(out=...) halves the draw cost versus a
+        # fresh allocation while producing the identical stream.
+        self._u_bufs: Dict[Tuple[int, int], np.ndarray] = {}
+        # The razor observation stream is only materialized when a
+        # subclass actually overrides the hook.
+        self._observe_is_noop = (
+            type(self)._observe_fault_types
+            is AcceleratorEngine._observe_fault_types
+        )
         # Exposure records keyed on (layer, struck cycles, voltages):
         # the op/voltage arrays plus the per-kind gather indices derived
         # from them.  Campaign cells re-evaluate one strike pattern over
@@ -123,9 +145,21 @@ class AcceleratorEngine:
         # on the *identity* of the images array (campaigns evaluate one
         # fixed test slice over and over).
         self._stage_cache: Optional[Tuple[np.ndarray, List[np.ndarray]]] = None
+        # Single-slot im2col cache keyed on (input array identity,
+        # stage): a stacked group injects many cells into the same
+        # clean batch, and the struck conv's unfolded input is
+        # identical for every one of them.
+        self._unfold_cache: List[Tuple[np.ndarray, str, tuple]] = []
+        # When the stacked evaluator arms this list, injectors append
+        # the image indices they touched, so changed-row detection is a
+        # cheap mask instead of a dense compare against the clean codes.
+        self._touch_log: Optional[List[np.ndarray]] = None
 
     #: Exposure-cache entries kept before the cache is dropped wholesale.
     _EXPOSURE_CACHE_MAX = 64
+
+    #: Uniform-draw buffers kept before the buffer pool is dropped.
+    _U_BUF_MAX = 8
 
     # -- clean path ----------------------------------------------------------
 
@@ -148,13 +182,73 @@ class AcceleratorEngine:
         cache = self._stage_cache
         if cache is not None and cache[0] is images:
             return cache[1]
-        codes = self.model.quantize_input(images)
+        codes = self._quantize_input(images)
         out = [codes]
         for stage in self.model.stages:
-            codes = stage.forward_codes(codes)
+            codes = self._forward_stage(stage, codes)
             out.append(codes)
         self._stage_cache = (images, out)
         return out
+
+    def _quantize_input(self, images: np.ndarray) -> np.ndarray:
+        """Input codes under the active dtype policy.
+
+        The fp32 fast path carries the *same* integer code values in
+        float32 (|code| <= 127, exactly representable), so quantization
+        itself stays bit-exact and only the MAC arithmetic differs.
+        """
+        codes = self.model.quantize_input(images)
+        if self.dtype_policy == "fp32":
+            return codes.astype(np.float32)
+        return codes
+
+    def _fp32_params(self, stage) -> tuple:
+        """Float32 weight/bias twins of a MAC stage, weights resident on
+        the array backend (identity placement for numpy)."""
+        cached = self._fp32_cache.get(stage.name)
+        if cached is None:
+            w32 = stage.w_codes.reshape(
+                stage.w_codes.shape[0], -1).astype(np.float32)
+            cached = (self.backend.asarray(w32),
+                      stage.b_codes.astype(np.float32))
+            self._fp32_cache[stage.name] = cached
+        return cached
+
+    def _forward_stage(self, stage, codes: np.ndarray) -> np.ndarray:
+        """One stage forward under the active dtype policy.
+
+        ``dtype_policy="fxp"`` is the exact int64 reference
+        (``stage.forward_codes``, the byte-parity tier).  ``"fp32"``
+        runs conv/dense MACs as float32 sgemm on the array backend and
+        the tanh lookup in float32 — every intermediate code is still an
+        integer *value*, but rounding at the float32 tanh boundary may
+        differ from the float64 reference by one code, so this tier is
+        pinned by differential tolerance tests
+        (``tests/accel/test_backend_parity.py``), not bytes.
+        """
+        if self.dtype_policy != "fp32":
+            return stage.forward_codes(codes)
+        kind = stage.kind
+        if kind == "conv":
+            w_dev, b32 = self._fp32_params(stage)
+            cols, out_h, out_w = self._unfold(stage, codes)
+            acc = self.backend.asnumpy(
+                self.backend.asarray(cols) @ w_dev.T) + b32
+            return acc.reshape(codes.shape[0], out_h, out_w,
+                               -1).transpose(0, 3, 1, 2)
+        if kind == "dense":
+            w_dev, b32 = self._fp32_params(stage)
+            return self.backend.asnumpy(
+                self.backend.asarray(codes) @ w_dev.T) + b32
+        if kind == "tanh":
+            fmt = stage.act_format
+            real = codes.astype(np.float32, copy=False) * np.float32(
+                2.0 ** (-stage.acc_frac_bits))
+            q = np.rint(np.tanh(real) * np.float32(1.0 / fmt.scale))
+            np.clip(q, fmt.int_min, fmt.int_max, out=q)
+            return q
+        # pool, flatten etc. are dtype-generic (pairwise max / reshape).
+        return stage.forward_codes(codes)
 
     # -- attacked path ----------------------------------------------------------
 
@@ -178,7 +272,7 @@ class AcceleratorEngine:
         first = 0
         codes: Optional[np.ndarray] = None
         if stage_codes is None:
-            codes = self.model.quantize_input(images)
+            codes = self._quantize_input(images)
         else:
             struck_stages = [
                 self._plan_by_name[name].stage_index
@@ -197,7 +291,7 @@ class AcceleratorEngine:
                 codes = stage_codes[index + 1].copy()
             else:
                 x_in = codes
-                codes = stage.forward_codes(codes)
+                codes = self._forward_stage(stage, codes)
             entry = by_layer.get(getattr(stage, "name", ""))
             if entry is None or entry.count == 0:
                 continue
@@ -269,10 +363,16 @@ class AcceleratorEngine:
                               ) -> float:
         """Top-1 accuracy with strikes applied to every inference.
 
-        ``batch_size=None`` takes ``config.accel.eval_batch_size``.
+        ``batch_size=None`` takes ``config.accel.eval_batch_size`` —
+        except under the fp32 dtype policy, which evaluates the whole
+        set as one batch: batch boundaries are part of the byte-parity
+        RNG stream only in the fixed-point tier, and fp32's stream is
+        already redefined (see :meth:`_sparse_candidates`).
         """
         if batch_size is None:
-            batch_size = self.config.accel.eval_batch_size
+            batch_size = (images.shape[0] if self.dtype_policy == "fp32"
+                          else self.config.accel.eval_batch_size)
+            batch_size = max(batch_size, 1)
         correct = 0
         for start in range(0, images.shape[0], batch_size):
             window = slice(start, start + batch_size)
@@ -282,6 +382,167 @@ class AcceleratorEngine:
                                               stage_codes=batch_codes)
             correct += int((preds == labels[window]).sum())
         return correct / images.shape[0]
+
+    def accuracy_under_attack_many(
+            self, images: np.ndarray, labels: np.ndarray,
+            cells: Sequence[Tuple[Sequence[StruckCycles],
+                                  np.random.Generator]],
+            batch_size: Optional[int] = None,
+            stage_codes: Optional[List[np.ndarray]] = None,
+    ) -> List[float]:
+        """Evaluate many strike cells in one stacked pass over the images.
+
+        ``cells`` is a sequence of ``(struck, rng)`` pairs — each cell's
+        generator starts exactly where a serial run's engine generator
+        would (``np.random.default_rng(cell_seed)``), and is the only
+        randomness that cell consumes.  Returns per-cell accuracies,
+        position-aligned with ``cells``.
+
+        Per batch window, each cell injects into a private copy of the
+        cached clean output of its struck stage (consuming its own
+        generator in the same batch order as a serial run); only the
+        image rows whose accumulators actually changed are then pushed
+        through the downstream stages, *concatenated across cells* into
+        one tensor pass.  Every downstream stage is row-independent and
+        — in the int64 fixed-point policy — bitwise order-independent,
+        so under ``dtype_policy="fxp"`` the per-cell accuracies are
+        byte-identical to per-cell serial ``accuracy_under_attack``
+        calls (``tests/core/test_stacked_parity.py``).  Under ``fp32``
+        the whole policy is tolerance-pinned anyway.
+
+        Cells striking multiple layers (the blind baseline) fall back to
+        the serial evaluator under their own generator; zero-strike
+        cells score clean accuracy and consume no randomness — both
+        exactly as serial.
+        """
+        if batch_size is None:
+            batch_size = (images.shape[0] if self.dtype_policy == "fp32"
+                          else self.config.accel.eval_batch_size)
+            batch_size = max(batch_size, 1)
+        if stage_codes is None:
+            stage_codes = self.clean_stage_codes(images)
+        n_total = images.shape[0]
+        results = [0.0] * len(cells)
+
+        clean_cells: List[int] = []
+        serial_cells: List[Tuple[int, Sequence[StruckCycles],
+                                 np.random.Generator]] = []
+        stacked: Dict[int, List[Tuple[int, StruckCycles,
+                                      np.random.Generator]]] = {}
+        for i, (struck, gen) in enumerate(cells):
+            by_layer = self._index_strikes(struck)
+            live = [e for e in by_layer.values() if e.count > 0]
+            if not live:
+                clean_cells.append(i)
+            elif len(live) == 1:
+                entry = live[0]
+                first = self._plan_by_name[entry.layer_name].stage_index
+                stacked.setdefault(first, []).append((i, entry, gen))
+            else:
+                serial_cells.append((i, struck, gen))
+
+        for i, struck, gen in serial_cells:
+            saved = self.rng
+            self.rng = gen
+            try:
+                results[i] = self.accuracy_under_attack(
+                    images, labels, struck, batch_size=batch_size,
+                    stage_codes=stage_codes)
+            finally:
+                self.rng = saved
+
+        # One quadrature call per fault model for the whole group: the
+        # per-record results are identical to the lazy per-cell path
+        # (fault_probabilities is elementwise over cycles), it just
+        # avoids paying the call overhead once per cell.
+        prefetch: Dict[TimingFaultModel, List[dict]] = {}
+        for group in stacked.values():
+            for _i, entry, _gen in group:
+                plan = self._plan_by_name[entry.layer_name]
+                model = (self.pool_faults if plan.kind == "pool"
+                         else self.dsp_faults)
+                record = self._exposure(plan, entry)
+                if model not in record.setdefault("cycle_probs", {}):
+                    prefetch.setdefault(model, []).append(record)
+        for model, records in prefetch.items():
+            volts = np.concatenate([r["cycle_volts"] for r in records])
+            pf, pd = model.fault_probabilities(
+                volts, self.config.pdn.noise_sigma_v)
+            offset = 0
+            for r in records:
+                n = r["cycle_volts"].shape[0]
+                r["cycle_probs"][model] = (pf[offset:offset + n],
+                                           pd[offset:offset + n])
+                offset += n
+
+        counts = np.zeros(len(cells), dtype=np.int64)
+        clean_total = 0
+        for start in range(0, n_total, batch_size):
+            window = slice(start, start + batch_size)
+            wlabels = labels[window]
+            n_b = wlabels.shape[0]
+            batch_codes = [c[window] for c in stage_codes]
+            # Dequantization is a positive power-of-two scale, so the
+            # argmax over raw final codes matches the serial argmax over
+            # dequantized logits exactly.
+            clean_preds = np.argmax(batch_codes[-1], axis=1)
+            clean_ok = clean_preds == np.asarray(wlabels)
+            clean_correct = int(clean_ok.sum())
+            clean_total += clean_correct
+            for first in sorted(stacked):
+                stage = self.model.stages[first]
+                x_in = batch_codes[first]
+                base_out = np.ascontiguousarray(batch_codes[first + 1])
+                rows: List[np.ndarray] = []
+                owners: List[Tuple[int, np.ndarray]] = []
+                for i, entry, gen in stacked[first]:
+                    saved = self.rng
+                    self._touch_log = log = []
+                    try:
+                        self.rng = gen
+                        acc = self._apply_stage_faults(
+                            stage, first, entry, x_in, base_out.copy())
+                    finally:
+                        self.rng = saved
+                        self._touch_log = None
+                    counts[i] += clean_correct
+                    # Rows the injectors touched — a superset of the
+                    # rows that actually changed; recomputing an
+                    # untouched-value row reproduces its clean
+                    # prediction, so the correction below is still
+                    # exact.  Far cheaper than comparing the dense
+                    # accumulators against the clean codes.
+                    if log:
+                        touched = np.zeros(n_b, dtype=bool)
+                        for t in log:
+                            touched[t] = True
+                        changed = np.flatnonzero(touched)
+                    else:
+                        changed = np.empty(0, dtype=np.int64)
+                    if changed.size:
+                        owners.append((i, changed))
+                        rows.append(acc[changed])
+                if not rows:
+                    continue
+                codes = np.concatenate(rows, axis=0)
+                for later in self.model.stages[first + 1:]:
+                    codes = self._forward_stage(later, codes)
+                preds = np.argmax(codes, axis=1)
+                offset = 0
+                for i, changed in owners:
+                    sub = preds[offset:offset + changed.size]
+                    offset += changed.size
+                    # Swap the changed rows' clean correctness (already
+                    # counted above) for their attacked correctness.
+                    counts[i] -= int(clean_ok[changed].sum())
+                    counts[i] += int(
+                        (sub == np.asarray(wlabels)[changed]).sum())
+        for i in clean_cells:
+            results[i] = clean_total / n_total
+        for group in stacked.values():
+            for i, _entry, _gen in group:
+                results[i] = counts[i] / n_total
+        return results
 
     # -- exposure helpers ----------------------------------------------------------
 
@@ -337,25 +598,124 @@ class AcceleratorEngine:
             self._exposure_cache[key] = record
         return record
 
-    def _fault_probs(self, record: dict,
+    def _cycle_probs(self, record: dict,
                      model: TimingFaultModel) -> Tuple[np.ndarray, np.ndarray]:
-        """Per-exposed-op ``(P(fault), P(dup | fault))`` under ``model``.
+        """Per-struck-cycle ``(P(fault), P(dup | fault))`` under ``model``.
 
-        Computed once per (exposure record, fault model) by quadrature
-        over the per-cycle voltages (supply noise marginalized
-        analytically — see :meth:`TimingFaultModel.fault_probabilities`)
-        and expanded to op granularity.  Keyed by model identity because
+        The quadrature (supply noise marginalized analytically — see
+        :meth:`TimingFaultModel.fault_probabilities`) runs once per
+        (exposure record, fault model); keyed by model identity because
         the hardened engine swaps in replay twins with a divided clock.
         """
-        cached = record["probs"].get(model)
+        cache = record.setdefault("cycle_probs", {})
+        cached = cache.get(model)
         if cached is None:
-            pf, pd = model.fault_probabilities(
+            cached = model.fault_probabilities(
                 record["cycle_volts"], self.config.pdn.noise_sigma_v
             )
+            cache[model] = cached
+        return cached
+
+    def _fault_probs(self, record: dict,
+                     model: TimingFaultModel) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-exposed-op ``(P(fault), P(dup | fault))``: the per-cycle
+        quadrature of :meth:`_cycle_probs` expanded to op granularity."""
+        cached = record["probs"].get(model)
+        if cached is None:
+            pf, pd = self._cycle_probs(record, model)
             cached = (np.repeat(pf, record["counts"]),
                       np.repeat(pd, record["counts"]))
             record["probs"][model] = cached
         return cached
+
+    #: Per-cycle fault probabilities at/above this are treated as 1.0 by
+    #: the sparse sampler (bounds its Poisson rate; bias <= 1e-9).
+    _SPARSE_FULL_P = 1.0 - 1e-9
+
+    def _sparse_candidates(self, record: dict, model: TimingFaultModel,
+                           n_images: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Fault-candidate ``(img, pos)`` sites without the dense
+        uniform matrix — the fp32 policy's sampler.
+
+        Exact Poisson thinning of the Bernoulli process: over a block of
+        ``B`` trials at constant probability ``p``, draw ``K ~
+        Poisson(B * lam)`` positions uniformly *with replacement*, where
+        ``lam = -ln(1 - p)``, and deduplicate.  Each position then
+        carries an independent ``Poisson(lam)`` hit count, so it is
+        marked with probability exactly ``1 - exp(-lam) = p``,
+        independently of every other position — the same per-op fault
+        law as the reference's dense ``u < p`` threshold, at ~``p``
+        draws per trial instead of one.  Exposure probabilities are
+        constant within a struck cycle, so blocks are per-cycle.  The
+        *stream* differs from the fixed-point reference (that is the
+        documented fp32 trade: distribution-identical, not
+        byte-identical).  Returned sites are sorted row-major, matching
+        the reference's candidate order.
+        """
+        plan = record.setdefault("sparse", {}).get(model)
+        if plan is None:
+            pf_c, _ = self._cycle_probs(record, model)
+            counts = np.asarray(record["counts"], dtype=np.int32)
+            offsets = (np.cumsum(counts) - counts).astype(np.int32)
+            full = pf_c >= self._SPARSE_FULL_P
+            lam = -np.log1p(-np.where(full, 0.0, pf_c))
+            plan = (lam, full, counts, offsets)
+            record["sparse"][model] = plan
+        lam, full, counts, offsets = plan
+        n_ops = int(record["ops"].shape[0])
+        empty = np.empty(0, dtype=np.int64)
+        if n_ops == 0:
+            return empty, empty
+        # The flat (img, op) index space tops out at n_images * n_ops
+        # (a few million) — int32 throughout halves the sort/divmod
+        # bandwidth; results widen to int64 only on return.
+        block = counts * n_images
+        m = self.rng.poisson(block * lam)
+        total = int(m.sum())
+        flats = []
+        if total:
+            cyc = np.repeat(np.arange(counts.shape[0], dtype=np.int32), m)
+            u = self.rng.random(total)
+            bcyc = block[cyc]
+            loc = np.minimum((u * bcyc).astype(np.int32), bcyc - np.int32(1))
+            img_part, lane = np.divmod(loc, counts[cyc])
+            flats.append(img_part * np.int32(n_ops)
+                         + offsets[cyc] + lane)
+        if np.any(full):
+            # Saturated cycles: every exposed op of every image faults.
+            fcols = np.concatenate([
+                np.arange(offsets[c], offsets[c] + counts[c],
+                          dtype=np.int32)
+                for c in np.flatnonzero(full)
+            ])
+            flats.append((np.arange(n_images, dtype=np.int32)[:, None]
+                          * np.int32(n_ops) + fcols[None, :]).reshape(-1))
+        if not flats:
+            return empty, empty
+        # Dedupe + sort by hand: np.unique's hash path is ~40x slower
+        # than a plain sort on these integer index arrays.
+        flat = np.sort(np.concatenate(flats))
+        if flat.size > 1:
+            flat = flat[np.concatenate(([True], flat[1:] != flat[:-1]))]
+        # Sites stay int32 end to end — the injector gathers and the
+        # scatter targets all index spaces far below 2**31.
+        return np.divmod(flat, np.int32(n_ops))
+
+    def _uniform(self, n_images: int, n_ops: int) -> np.ndarray:
+        """One uniform per (image, exposed op), into a reused buffer.
+
+        ``rng.random(out=buf)`` consumes the identical stream as
+        ``rng.random(shape)`` — the buffer is a pure allocation saving
+        and leaves the byte-parity contract untouched.
+        """
+        key = (n_images, n_ops)
+        buf = self._u_bufs.get(key)
+        if buf is None:
+            if len(self._u_bufs) >= self._U_BUF_MAX:
+                self._u_bufs.clear()
+            buf = np.empty(key, dtype=np.float64)
+            self._u_bufs[key] = buf
+        return self.rng.random(out=buf)
 
     def _mac_faults_batch(self, record: dict, n_images: int, products,
                           force_class: Optional[str] = None
@@ -381,50 +741,113 @@ class AcceleratorEngine:
         uniform per (image, exposed op) for the fault test, one uniform
         per surviving fault for the duplication/random split, then one
         garbage-word draw per random-class fault; the per-image razor
-        hook fires in image order after the decisions.
+        hook fires in image order after the decisions.  The ``fp32``
+        dtype policy replaces the dense fault test with
+        :meth:`_sparse_candidates` (distribution-identical, different
+        stream); the split and garbage draws keep the same structure.
         """
         p_fault, p_dup = self._fault_probs(record, self.dsp_faults)
         n_ops = p_fault.shape[0]
-        u = self.rng.random((n_images, n_ops))
-        img, pos = np.nonzero(u < p_fault)
+        if self.dtype_policy == "fp32":
+            img, pos = self._sparse_candidates(record, self.dsp_faults,
+                                               n_images)
+        else:
+            u = self._uniform(n_images, n_ops)
+            # flatnonzero + divmod walks the mask once in the same
+            # row-major order np.nonzero produces, without its per-axis
+            # index pass.
+            flat = np.flatnonzero(u < p_fault)
+            img, pos = np.divmod(flat, n_ops)
         if img.size:
             p_cur, p_prev = products(img, pos)
-            keep = p_cur != p_prev
-            img, pos = img[keep], pos[keep]
-            p_cur, p_prev = p_cur[keep], p_prev[keep]
+            if p_cur.dtype != np.int64 and self._observe_is_noop:
+                # fp32 path: products are integer-valued floats (codes
+                # fit float32 exactly).  The dup/garbage math below is
+                # integer, and every value involved — products and the
+                # 18-bit garbage word — fits int32, which halves the
+                # memory traffic of the widest hot-path arrays.
+                #
+                # No transition filter here: a non-transitioning site
+                # (p_cur == p_prev) provably yields delta == 0 in both
+                # fault classes — duplication delivers the identical
+                # product, and the garbage capture reconstructs the
+                # settled word exactly for |product| < 2**17 (products
+                # top out at 128 * 128) — so the filter's five boolean
+                # gathers cost more than the ~16% zero-delta sites they
+                # remove.  Draw counts shift accordingly: part of the
+                # documented fp32 stream difference.
+                p_cur = p_cur.astype(np.int32)
+                p_prev = p_prev.astype(np.int32)
+            else:
+                # != is dtype-exact; the dense reference stream draws
+                # per *transitioning* op, so the filter is part of fxp
+                # byte parity (and of the per-op observe accounting).
+                keep = p_cur != p_prev
+                img, pos = img[keep], pos[keep]
+                p_cur, p_prev = p_cur[keep], p_prev[keep]
+                if p_cur.dtype != np.int64:
+                    p_cur = p_cur.astype(np.int32)
+                    p_prev = p_prev.astype(np.int32)
         else:
             p_cur = p_prev = np.empty(0, dtype=np.int64)
         n_faulted = img.size
-        dup = self.rng.random(n_faulted) < p_dup[pos]
+        if self.dtype_policy == "fp32":
+            # Half-width split draws (part of the documented fp32
+            # stream difference): a float32 uniform against a float32
+            # probability makes the same decision to ~2**-24, far
+            # inside this tier's tolerance, at half the draw bandwidth.
+            pd32 = record.setdefault("probs32", {}).get(self.dsp_faults)
+            if pd32 is None:
+                pd32 = p_dup.astype(np.float32)
+                record["probs32"][self.dsp_faults] = pd32
+            dup = self.rng.random(n_faulted, dtype=np.float32) < pd32[pos]
+        else:
+            dup = self.rng.random(n_faulted) < p_dup[pos]
         if force_class is not None:
             dup[:] = force_class == "duplication"
-        type_vals = np.where(dup, np.int8(FaultType.DUPLICATION),
-                             np.int8(FaultType.RANDOM))
-        types = np.zeros((n_images, n_ops), dtype=np.int8)
-        types[img, pos] = type_vals
-        volts = record["volts"]
-        for n in range(n_images):
-            self._observe_fault_types(types[n], volts)
-        delta = np.zeros(n_faulted, dtype=np.int64)
-        delta[dup] = p_prev[dup] - p_cur[dup]
+        if not self._observe_is_noop:
+            type_vals = np.where(dup, np.int8(FaultType.DUPLICATION),
+                                 np.int8(FaultType.RANDOM))
+            types = np.zeros((n_images, n_ops), dtype=np.int8)
+            types[img, pos] = type_vals
+            volts = record["volts"]
+            for n in range(n_images):
+                self._observe_fault_types(types[n], volts)
+        # One vectorized subtract + select beats four boolean gathers on
+        # arrays this size; random-class entries are overwritten below.
+        delta = np.where(dup, p_prev - p_cur, p_cur.dtype.type(0))
         rnd = ~dup
         n_random = int(np.count_nonzero(rnd))
         if n_random:
             word = (1 << _RANDOM_FAULT_BITS) - 1
             u_cur = p_cur[rnd] & word
             u_prev = p_prev[rnd] & word
-            toggling = u_cur ^ u_prev  # nonzero: gated on p_cur != p_prev
+            # Zero toggling (an unfiltered fp32 non-transition site)
+            # gives width 0, mask 0, captured == settled word: delta 0.
+            toggling = u_cur ^ u_prev
             # Bits above the highest toggling bit are settled; below it,
             # anything may be captured.  Note a sign flip toggles the
             # whole word (two's complement), yielding large garbage.
-            width = np.floor(np.log2(toggling)).astype(np.int64) + 1
-            mask = (np.int64(1) << width) - 1
-            captured = (u_cur & ~mask) | (
-                self.rng.integers(0, word + 1, size=n_random) & mask
-            )
+            # frexp's exponent IS floor(log2)+1 for exact ints, and the
+            # word is 18 bits < 2**24, so float32 frexp is exact for
+            # both policies.
+            width = np.frexp(toggling.astype(np.float32))[1].astype(
+                p_cur.dtype)
+            mask = (p_cur.dtype.type(1) << width) - 1
+            # Under fxp the draw stays int64 (draw width is part of the
+            # byte-parity RNG stream); fp32 draws the same law at
+            # 32-bit width, again a documented stream difference.
+            if p_cur.dtype == np.int32:
+                rand_bits = self.rng.integers(0, word + 1, size=n_random,
+                                              dtype=np.int32)
+            else:
+                rand_bits = self.rng.integers(0, word + 1, size=n_random)
+            captured = (u_cur & ~mask) | (rand_bits & mask)
             captured = np.where(captured >= 1 << (_RANDOM_FAULT_BITS - 1),
                                 captured - (1 << _RANDOM_FAULT_BITS), captured)
             delta[rnd] = captured - p_cur[rnd]
+        if self._touch_log is not None:
+            self._touch_log.append(img)
         return img, pos, delta
 
     # -- per-kind injectors ----------------------------------------------------------
@@ -442,7 +865,30 @@ class AcceleratorEngine:
         flat_idx = img * flat_acc.shape[1] + targets
         flat_acc += np.bincount(
             flat_idx, weights=delta, minlength=flat_acc.size
-        ).astype(np.int64).reshape(flat_acc.shape)
+        ).astype(flat_acc.dtype).reshape(flat_acc.shape)
+
+    #: Slots in the im2col cache: enough for every conv of the victim
+    #: plus the stacked downstream recompute batches.
+    _UNFOLD_CACHE_MAX = 4
+
+    def _unfold(self, stage: QConv, x_codes: np.ndarray
+                ) -> Tuple[np.ndarray, int, int]:
+        """im2col of a conv's input, cached per input-array identity.
+
+        A stacked cell group injects into the same clean batch many
+        times over, and the fp32 forward pass unfolds the very arrays
+        the injectors then gather from; the unfolded input is a pure
+        function of ``x_codes``, so both share these slots.
+        """
+        for entry in self._unfold_cache:
+            if entry[0] is x_codes and entry[1] == stage.name:
+                return entry[2]
+        out = im2col(x_codes, stage.w_codes.shape[-1],
+                     stage.stride, stage.pad)
+        self._unfold_cache.append((x_codes, stage.name, out))
+        if len(self._unfold_cache) > self._UNFOLD_CACHE_MAX:
+            self._unfold_cache.pop(0)
+        return out
 
     def _fault_conv(self, stage: QConv, plan: LayerPlan, entry: StruckCycles,
                     x_codes: np.ndarray, acc: np.ndarray) -> np.ndarray:
@@ -465,7 +911,8 @@ class AcceleratorEngine:
         n_images = acc.shape[0]
         oc = acc.shape[1]
         r_total = acc.shape[2] * acc.shape[3]
-        cols, w_mat, _, _ = stage.unfold(x_codes)
+        cols = self._unfold(stage, x_codes)[0]
+        w_mat = stage.w_codes.reshape(oc, -1)
         k_total = w_mat.shape[1]
 
         record = self._exposure(plan, entry)
@@ -483,22 +930,35 @@ class AcceleratorEngine:
             po_idx = prem // k_total
             pj_idx = prem % k_total
             gather = {
-                "r": r_idx, "j": j_idx,
+                # Input gathers as flat im2col offsets (r * K + j): one
+                # take per product instead of a multi-array fancy index.
+                "rj": r_idx * k_total + j_idx,
+                "prj": pr_idx * k_total + pj_idx,
                 "w_cur": w_mat[o_idx, j_idx],
-                "pr": pr_idx, "pj": pj_idx,
                 # A zero weight zeroes the previous product exactly
                 # where the slice was idle (layer's first cycle).
                 "w_prev": np.where(no_prev, 0, w_mat[po_idx, pj_idx]),
                 "targets": o_idx * r_total + r_idx,
             }
+            if self.dtype_policy == "fp32":
+                # Weight * activation codes stay far inside float32's
+                # exact-integer range, so the candidate products can run
+                # at half the memory bandwidth of int64; the flat gather
+                # offsets likewise fit int32.
+                gather["w_cur"] = gather["w_cur"].astype(np.float32)
+                gather["w_prev"] = gather["w_prev"].astype(np.float32)
+                for key in ("rj", "prj", "targets"):
+                    gather[key] = gather[key].astype(np.int32)
             record["conv"] = gather
 
-        cols3 = cols.reshape(n_images, r_total, k_total)
+        rk = r_total * k_total
+        flat_cols = cols.reshape(n_images * rk)
         g = gather
 
         def products(img, pos):
-            p_cur = cols3[img, g["r"][pos], g["j"][pos]] * g["w_cur"][pos]
-            p_prev = cols3[img, g["pr"][pos], g["pj"][pos]] * g["w_prev"][pos]
+            base = img * rk
+            p_cur = np.take(flat_cols, base + g["rj"][pos]) * g["w_cur"][pos]
+            p_prev = np.take(flat_cols, base + g["prj"][pos]) * g["w_prev"][pos]
             return p_cur, p_prev
 
         img, pos, delta = self._mac_faults_batch(record, n_images, products,
@@ -534,14 +994,22 @@ class AcceleratorEngine:
                 "w_prev": np.where(no_prev, 0, stage.w_codes[po_idx, pj_idx]),
                 "targets": o_idx,
             }
+            if self.dtype_policy == "fp32":
+                # Same float32/int32 narrowing as the conv gather.
+                gather["w_cur"] = gather["w_cur"].astype(np.float32)
+                gather["w_prev"] = gather["w_prev"].astype(np.float32)
+                for key in ("j", "pj", "targets"):
+                    gather[key] = gather[key].astype(np.int32)
             record["dense"] = gather
 
         n_images = x_codes.shape[0]
+        flat_x = np.ascontiguousarray(x_codes).reshape(n_images * in_f)
         g = gather
 
         def products(img, pos):
-            p_cur = x_codes[img, g["j"][pos]] * g["w_cur"][pos]
-            p_prev = x_codes[img, g["pj"][pos]] * g["w_prev"][pos]
+            base = img * in_f
+            p_cur = np.take(flat_x, base + g["j"][pos]) * g["w_cur"][pos]
+            p_prev = np.take(flat_x, base + g["pj"][pos]) * g["w_prev"][pos]
             return p_cur, p_prev
 
         img, pos, delta = self._mac_faults_batch(record, n_images, products,
@@ -574,14 +1042,21 @@ class AcceleratorEngine:
 
         n_ops = ops.shape[0]
         p_fault, p_dup = self._fault_probs(record, self.pool_faults)
-        u = self.rng.random((n_images, n_ops))
-        img, pos = np.nonzero(u < p_fault)
+        if self.dtype_policy == "fp32":
+            img, pos = self._sparse_candidates(record, self.pool_faults,
+                                               n_images)
+        else:
+            u = self._uniform(n_images, n_ops)
+            flat_hit = np.flatnonzero(u < p_fault)
+            img, pos = np.divmod(flat_hit, n_ops)
         is_dup = self.rng.random(img.size) < p_dup[pos]
-        types = np.zeros((n_images, n_ops), dtype=np.int8)
-        types[img, pos] = np.where(is_dup, np.int8(FaultType.DUPLICATION),
-                                   np.int8(FaultType.RANDOM))
-        for n in range(n_images):
-            self._observe_fault_types(types[n], volts)
+        if not self._observe_is_noop:
+            types = np.zeros((n_images, n_ops), dtype=np.int8)
+            types[img, pos] = np.where(is_dup,
+                                       np.int8(FaultType.DUPLICATION),
+                                       np.int8(FaultType.RANDOM))
+            for n in range(n_images):
+                self._observe_fault_types(types[n], volts)
         if img.size == 0:
             return out
         fop = ops[pos]
@@ -593,4 +1068,6 @@ class AcceleratorEngine:
         rand_vals = self.rng.integers(act.int_min, act.int_max + 1,
                                       size=img.size)
         flat[img, fop] = np.where(is_dup, dup_vals, rand_vals)
+        if self._touch_log is not None:
+            self._touch_log.append(img)
         return out

@@ -96,6 +96,20 @@ def build_parser() -> argparse.ArgumentParser:
                           help="shard campaign cells across N worker "
                                "processes (byte-identical to the serial "
                                "run; default 1)")
+    campaign.add_argument("--stacked", action="store_true",
+                          help="run each sweep column as one stacked "
+                               "tensor pass (byte-identical to serial "
+                               "under the default fxp policy; excludes "
+                               "--workers>1 and --broker)")
+    campaign.add_argument("--backend", default=None, metavar="NAME",
+                          help="array backend for the engine hot paths "
+                               "(default numpy; cupy/jax when installed, "
+                               "see repro.accel.xp)")
+    campaign.add_argument("--dtype", default=None, choices=("fxp", "fp32"),
+                          metavar="POLICY",
+                          help="dtype policy: fxp is the exact fixed-point "
+                               "reference (byte-parity tier), fp32 the "
+                               "tolerance-pinned fast path")
     campaign.add_argument("--max-retries", type=int, default=None,
                           metavar="N",
                           help="supervisor: re-dispatches allowed per cell "
@@ -233,7 +247,7 @@ def _cmd_summary(args) -> int:
     return 0
 
 
-def _sensor_and_attack(seed: int, cells: int):
+def _sensor_and_attack(seed: int, cells: int, config=None):
     from .accel import AcceleratorEngine
     from .core import DeepStrike
     from .sensors import GateDelayModel, TDCSensor
@@ -241,7 +255,7 @@ def _sensor_and_attack(seed: int, cells: int):
     from .zoo import get_pretrained
 
     victim = get_pretrained()
-    engine = AcceleratorEngine(victim.quantized,
+    engine = AcceleratorEngine(victim.quantized, config=config,
                                rng=np.random.default_rng(seed))
     attack = DeepStrike(engine, bank_cells=cells,
                         rng=np.random.default_rng(seed + 1))
@@ -420,7 +434,18 @@ def _cmd_campaign(args) -> int:
     else:
         import dataclasses
 
-        victim, _, attack, _ = _sensor_and_attack(args.seed, 5500)
+        config = None
+        if args.backend is not None or args.dtype is not None:
+            from .config import default_config
+
+            overrides = {}
+            if args.backend is not None:
+                overrides["backend"] = args.backend
+            if args.dtype is not None:
+                overrides["dtype_policy"] = args.dtype
+            config = dataclasses.replace(default_config(), **overrides)
+        victim, _, attack, _ = _sensor_and_attack(args.seed, 5500,
+                                                  config=config)
         if args.sweep:
             spec = _parse_sweep_args(args.sweep, args.images, args.seed)
         elif args.resume:
@@ -473,6 +498,7 @@ def _cmd_campaign(args) -> int:
                               resume_from=args.resume,
                               before_cell=before_cell,
                               workers=args.workers,
+                              stacked=args.stacked,
                               cache=args.cache_dir,
                               supervisor=supervisor,
                               service=service,
@@ -506,7 +532,8 @@ def _cmd_serve(args) -> int:
     args.broker = f"{args.host}:{args.port}"
     for name, value in (("show", None), ("workers", 1),
                         ("max_retries", None), ("cell_timeout", None),
-                        ("no_supervisor", False)):
+                        ("no_supervisor", False), ("stacked", False),
+                        ("backend", None), ("dtype", None)):
         setattr(args, name, value)
     return _cmd_campaign(args)
 

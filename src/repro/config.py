@@ -575,6 +575,14 @@ class SimulationConfig:
     executor: ExecutorConfig = field(default_factory=ExecutorConfig)
     supervisor: SupervisorConfig = field(default_factory=SupervisorConfig)
     service: ServiceConfig = field(default_factory=ServiceConfig)
+    #: Array-namespace backend for the engine/PDN hot paths
+    #: (``repro.accel.xp``): "numpy" always works; "cupy"/"jax" need
+    #: their packages installed.
+    backend: str = "numpy"
+    #: "fxp" is the exact int64 fixed-point reference (byte-parity
+    #: tier); "fp32" runs MAC layers in float32 (sgemm) and is pinned
+    #: to the reference by differential tolerance tests only.
+    dtype_policy: str = "fxp"
     seed: int = 20210705
 
     def validate(self) -> "SimulationConfig":
@@ -591,6 +599,12 @@ class SimulationConfig:
         self.executor.validate()
         self.supervisor.validate()
         self.service.validate()
+        if not self.backend or not isinstance(self.backend, str):
+            raise ConfigError("backend must be a non-empty string")
+        if self.dtype_policy not in ("fxp", "fp32"):
+            raise ConfigError(
+                f"dtype_policy must be 'fxp' or 'fp32', got {self.dtype_policy!r}"
+            )
         if self.pdn.v_nominal != self.delay.v_nominal:
             raise ConfigError(
                 "PDN and delay model disagree on nominal voltage: "

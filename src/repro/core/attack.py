@@ -17,7 +17,7 @@ Ties the pieces into the paper's three-step procedure:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -90,6 +90,10 @@ class DeepStrike:
         # Deterministic (rng=None) inference current trace; identical
         # for every plan against this schedule, so priced once.
         self._trace_cache: Optional[np.ndarray] = None
+        # Settled pricing-PDN state: settle() walks a per-tick Python
+        # loop from reset, and its result is the same for every plan, so
+        # snapshot it once and restore thereafter (bit-exact).
+        self._settled_state: Optional[Tuple[float, float, float, float]] = None
 
     # -- step 1: profiling ----------------------------------------------------------
 
@@ -142,12 +146,10 @@ class DeepStrike:
         first = self.engine.schedule.windows()[0]
         return first.start_cycle + DETECTOR_LATENCY_CYCLES
 
-    def plan_for_layer(self, layer_name: str, n_strikes: int,
-                       trigger_cycle: Optional[int] = None) -> AttackPlan:
-        """Plan against the *known* schedule (characterization mode)."""
+    def _scheme_for_layer(self, layer_name: str, n_strikes: int,
+                          trigger: int) -> AttackScheme:
+        """Strike scheme covering a layer's usable window."""
         window = self.engine.schedule.window(layer_name)
-        trigger = self.default_trigger_cycle if trigger_cycle is None \
-            else trigger_cycle
         # The detector fires a couple of cycles into the first layer, so a
         # first-layer attack can only cover the remainder of its window.
         usable_start = max(window.start_cycle, trigger)
@@ -157,8 +159,50 @@ class DeepStrike:
                 f"layer '{layer_name}' has already finished at the trigger"
             )
         delay = usable_start - trigger
-        scheme = AttackScheme.spread_over(delay, usable_cycles, n_strikes)
+        return AttackScheme.spread_over(delay, usable_cycles, n_strikes)
+
+    def plan_for_layer(self, layer_name: str, n_strikes: int,
+                       trigger_cycle: Optional[int] = None) -> AttackPlan:
+        """Plan against the *known* schedule (characterization mode)."""
+        trigger = self.default_trigger_cycle if trigger_cycle is None \
+            else trigger_cycle
+        scheme = self._scheme_for_layer(layer_name, n_strikes, trigger)
         return self._finalize_plan(layer_name, n_strikes, scheme, trigger)
+
+    def plan_for_layers(self, cells: Sequence[Tuple[str, int]],
+                        trigger_cycle: Optional[int] = None
+                        ) -> List[AttackPlan]:
+        """Price many ``(layer, n_strikes)`` cells in one PDN pass.
+
+        The returned plans are bit-identical to per-cell
+        :meth:`plan_for_layer` calls: each cell gets its own current row
+        (shared base trace + that cell's striker pulses) and
+        :meth:`PowerDistributionNetwork.simulate_batch` evaluates all
+        rows from the one settled state.  Raises on the first invalid
+        cell — callers needing per-cell failure isolation (the stacked
+        campaign loop) fall back to serial pricing, which isolates the
+        offender and produces the same bytes.
+        """
+        trigger = self.default_trigger_cycle if trigger_cycle is None \
+            else trigger_cycle
+        schemes = [self._scheme_for_layer(layer, n, trigger)
+                   for layer, n in cells]
+        absolutes = [trigger + s.strike_start_cycles() for s in schemes]
+        volt_rows = self.strike_voltages_many(
+            absolutes, [s.strike_cycles for s in schemes])
+        plans = []
+        for (layer, n), scheme, absolute, volts in zip(
+                cells, schemes, absolutes, volt_rows):
+            struck, wasted = self.bucket_strikes(absolute, volts)
+            plans.append(AttackPlan(
+                target_layer=layer,
+                n_strikes_requested=n,
+                scheme=scheme,
+                trigger_cycle=trigger,
+                struck=struck,
+                wasted_strikes=wasted,
+            ))
+        return plans
 
     def plan_from_profile(self, library: Sequence[LayerSignature],
                           target_order: int, n_strikes: int) -> AttackPlan:
@@ -226,10 +270,7 @@ class DeepStrike:
                  + np.arange(tpc, dtype=np.int64)).reshape(-1)
         valid = (ticks >= 0) & (ticks < current.shape[0])
         np.add.at(current, ticks[valid], self._strike_current)
-        pdn = PowerDistributionNetwork(self.config.pdn,
-                                       dt=self.config.clock.sim_dt, rng=None)
-        pdn.settle(STALL_CURRENT)
-        volts = pdn.simulate(current)
+        volts = self._pricing_pdn().simulate(current)
         # Per-cycle minima, padded with +inf past the trace end so the
         # gather below clips instead of wrapping.
         n_full = volts.shape[0] // tpc
@@ -239,6 +280,69 @@ class DeepStrike:
         padded = np.append(mins, np.inf)
         clipped = np.minimum(span, mins.shape[0])
         return padded[clipped].min(axis=1)
+
+    def _pricing_pdn(self) -> PowerDistributionNetwork:
+        """A noise-free PDN at the settled stall operating point.
+
+        ``settle`` walks a per-tick Python loop and its result is
+        identical for every plan, so the settled state is snapshotted on
+        first use and restored (bit-exactly) thereafter.
+        """
+        pdn = PowerDistributionNetwork(self.config.pdn,
+                                       dt=self.config.clock.sim_dt, rng=None,
+                                       backend=self.config.backend)
+        if self._settled_state is None:
+            pdn.settle(STALL_CURRENT)
+            self._settled_state = pdn.state
+        else:
+            pdn.state = self._settled_state
+        return pdn
+
+    def strike_voltages_many(self, absolute_cycles: Sequence[np.ndarray],
+                             strike_cycles: Sequence[int]
+                             ) -> List[np.ndarray]:
+        """Deterministic strike voltages for many plans in one PDN pass.
+
+        Row ``k`` of the result is bit-identical to
+        ``strike_voltages(absolute_cycles[k], strike_cycles[k])``: every
+        plan's current row shares the base inference trace, and
+        :meth:`PowerDistributionNetwork.simulate_batch` evaluates the
+        whole stack from the same settled state the serial path uses.
+        """
+        n = len(absolute_cycles)
+        if n == 0:
+            return []
+        tpc = self.config.clock.ticks_per_victim_cycle
+        base = self._base_current_trace()
+        n_ticks = base.shape[0]
+        current = np.tile(base, (n, 1))
+        spans = []
+        flat_parts = []
+        for k, (cyc, sc) in enumerate(zip(absolute_cycles, strike_cycles)):
+            cycles = np.asarray(cyc, dtype=np.int64)
+            span = cycles[:, None] + np.arange(sc, dtype=np.int64)
+            ticks = (span.reshape(-1, 1) * tpc
+                     + np.arange(tpc, dtype=np.int64)).reshape(-1)
+            valid = (ticks >= 0) & (ticks < n_ticks)
+            flat_parts.append(k * n_ticks + ticks[valid])
+            spans.append(span)
+        # One buffered add over the flattened matrix: within a row the
+        # add order matches the serial per-cell np.add.at exactly.
+        np.add.at(current.reshape(-1), np.concatenate(flat_parts),
+                  self._strike_current)
+        volts = self._pricing_pdn().simulate_batch(current)
+        n_full = n_ticks // tpc
+        mins = volts[:, :n_full * tpc].reshape(n, n_full, tpc).min(axis=2)
+        if n_ticks % tpc:
+            mins = np.concatenate(
+                [mins, volts[:, n_full * tpc:].min(axis=1, keepdims=True)],
+                axis=1)
+        padded = np.concatenate([mins, np.full((n, 1), np.inf)], axis=1)
+        out = []
+        for k, span in enumerate(spans):
+            clipped = np.minimum(span, mins.shape[1])
+            out.append(padded[k][clipped].min(axis=1))
+        return out
 
     def _base_current_trace(self) -> np.ndarray:
         """A private copy of the deterministic inference current trace."""
@@ -280,26 +384,41 @@ class DeepStrike:
     def bucket_strikes(self, absolute_cycles: np.ndarray,
                        voltages: np.ndarray):
         """Split absolute struck cycles into per-layer StruckCycles;
-        strikes landing in stalls are wasted."""
-        per_layer: Dict[str, List] = {}
-        wasted = 0
-        for cycle, volt in zip(np.asarray(absolute_cycles),
-                               np.asarray(voltages)):
-            if not 0 <= cycle < self.engine.schedule.total_cycles:
-                wasted += 1
-                continue
-            window = self.engine.schedule.layer_at(int(cycle))
-            if window is None:
-                wasted += 1
-                continue
-            entry = per_layer.setdefault(window.plan.name, [[], []])
-            entry[0].append(int(cycle) - window.start_cycle)
-            entry[1].append(float(volt))
-        struck = [
-            StruckCycles(name, np.asarray(c, dtype=np.int64),
-                         np.asarray(v, dtype=np.float64))
-            for name, (c, v) in per_layer.items()
-        ]
+        strikes landing in stalls are wasted.
+
+        Vectorized, but semantics-preserving versus the scalar
+        ``layer_at`` loop it replaces: within a layer, cycles keep their
+        input order, and layers appear in first-occurrence order of the
+        input (both orders are byte-significant — cycle order keys the
+        exposure cache and layer order feeds ``mean_strike_voltage``).
+        """
+        cycles = np.asarray(absolute_cycles, dtype=np.int64)
+        volts = np.asarray(voltages, dtype=np.float64)
+        windows = self.engine.schedule.windows()
+        starts = np.array([w.start_cycle for w in windows], dtype=np.int64)
+        ends = np.array([w.end_cycle for w in windows], dtype=np.int64)
+        total = self.engine.schedule.total_cycles
+        widx = np.searchsorted(starts, cycles, side="right") - 1
+        clipped = np.clip(widx, 0, len(windows) - 1)
+        # A hit is in schedule range, at/after some window's start, and
+        # before that window's end (cycles in inter-layer stalls fail
+        # the last test and are wasted, exactly like layer_at -> None).
+        hit = ((cycles >= 0) & (cycles < total) & (widx >= 0)
+               & (cycles < ends[clipped]))
+        wasted = int(cycles.shape[0] - np.count_nonzero(hit))
+        sel = np.flatnonzero(hit)
+        struck: List[StruckCycles] = []
+        if sel.size:
+            hit_widx = widx[sel]
+            uniq, first_pos = np.unique(hit_widx, return_index=True)
+            for k in np.argsort(first_pos, kind="stable"):
+                w = windows[uniq[k]]
+                members = sel[hit_widx == uniq[k]]
+                struck.append(StruckCycles(
+                    w.plan.name,
+                    cycles[members] - w.start_cycle,
+                    volts[members],
+                ))
         return struck, wasted
 
     # -- step 3: execution ----------------------------------------------------------

@@ -224,6 +224,7 @@ def run_campaign(attack: DeepStrike, images: np.ndarray,
                  resume_from=None,
                  before_cell: Optional[Callable[[str, int], None]] = None,
                  workers: int = 1,
+                 stacked: bool = False,
                  recipe=None,
                  cache=None,
                  supervisor=None,
@@ -263,6 +264,16 @@ def run_campaign(attack: DeepStrike, images: np.ndarray,
         (:mod:`repro.core.executor`).  ``1`` (the default) runs the
         untouched serial path.  Per-cell reseeding makes the final
         result byte-identical either way.
+    stacked:
+        Run consecutive same-layer cells as one stacked tensor pass
+        (:mod:`repro.core.stacked`): per-cell generators inject into a
+        shared clean batch and only changed image rows re-run the
+        downstream stages, concatenated across cells.  Byte-identical
+        to the serial loop under the numpy/fxp reference policy
+        (``tests/core/test_stacked_parity.py``); mutually exclusive
+        with ``workers > 1`` and ``service`` (the stacked pass *is*
+        this process's parallelism — combine it with remote workers by
+        giving each worker a column instead).
     recipe:
         A :class:`~repro.core.executor.WorkerRecipe` telling workers how
         to rebuild the attack (victim zoo name + ``SimulationConfig`` +
@@ -325,6 +336,11 @@ def run_campaign(attack: DeepStrike, images: np.ndarray,
             "service= and workers>1 are mutually exclusive; a service "
             "campaign parallelizes through registered workers "
             "(service.local_workers, repro work --broker)"
+        )
+    if stacked and (workers > 1 or service is not None):
+        raise ConfigError(
+            "stacked= is an in-process execution mode and is mutually "
+            "exclusive with workers>1 and service="
         )
     plan_spec = spec
     outcomes: Dict[Tuple[str, int], AttackOutcome] = {}
@@ -416,6 +432,14 @@ def run_campaign(attack: DeepStrike, images: np.ndarray,
                                 clean, outcomes, failures, workers=workers,
                                 checkpoint_path=checkpoint_path,
                                 before_cell=before_cell)
+
+        if stacked:
+            from .stacked import run_stacked_serial
+
+            return run_stacked_serial(
+                attack, images, labels, plan_spec, clean, outcomes,
+                failures, checkpoint_path=checkpoint_path,
+                before_cell=before_cell, stats=stats)
 
         blind_box: Dict[str, BlindAttack] = {}
         for target, count in plan_spec.cells():

@@ -72,6 +72,13 @@ def campaign_digest(config: SimulationConfig, bank_cells: int,
     """
     h = hashlib.blake2s()
     h.update(json.dumps(asdict(config), sort_keys=True).encode())
+    # The array backend and dtype policy are config fields, so the JSON
+    # above already covers them — but they change *numerics*, not just
+    # tuning, so fold them in explicitly too: fp32/alternate-backend
+    # outcomes must never be served from (or poison) FXP entries even
+    # if config serialization is ever restructured.
+    h.update(f"|backend:{config.backend}|dtype:{config.dtype_policy}"
+             .encode())
     h.update(f"|bank:{bank_cells}".encode())
     h.update(f"|model:{model.name}:{model.act_format!r}"
              f":{model.weight_format!r}".encode())

@@ -1,0 +1,211 @@
+"""Stacked-cell campaign execution: whole sweep columns as one pass.
+
+Most cells of a Fig 5(b)-style grid differ only in strike *intensity*
+and per-cell *seed*: a sweep column shares the victim, the schedule,
+and the struck layer.  The serial loop prices and evaluates those cells
+one at a time, re-walking the clean stage codes per cell; this module
+instead groups consecutive pending cells by their struck layer (the
+*column analyzer*) and hands each group to
+:meth:`~repro.accel.engine.AcceleratorEngine.accuracy_under_attack_many`,
+which evaluates the whole group in one ``cells × images`` tensor pass —
+injecting per cell from per-cell generators, then pushing only the
+*changed* image rows of every cell through the downstream stages as a
+single stacked batch.
+
+The contract is the repo-wide one: under the ``numpy`` backend and the
+``fxp`` dtype policy, a stacked campaign's JSON — checkpoints included
+— is byte-identical to the serial run (``tests/core/
+test_stacked_parity.py``), because
+
+* each cell's generator starts at ``np.random.default_rng(cell_seed)``,
+  exactly the state :func:`~repro.core.campaign._execute_cell` reseeds
+  the engine generator to, and injection is the only consumer;
+* plan pricing (:meth:`DeepStrike.plan_for_layer`) draws no randomness,
+  so pricing every cell of a group up front does not shift any stream;
+* ``before_cell`` hooks still fire per cell, in canonical order, at
+  group dispatch time — the same contract the parallel executor pins —
+  so chaos presets make identical decisions;
+* checkpoints are still written after every cell merge, in canonical
+  order, so kill-and-resume crosses between stacked and serial runs.
+
+Blind-baseline cells strike several layers under a second generator;
+they stay on the serial :func:`_execute_cell` path (as their own
+single-cell groups), which is byte-trivially identical.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ReproError
+from .attack import DeepStrike
+from .blind import BlindAttack
+from .campaign import (BLIND_TARGET, CampaignSpec, CellFailure,
+                       _assemble, _atomic_write_text, _cell_seed,
+                       _execute_cell, _to_json)
+from .evaluation import AttackOutcome
+
+__all__ = ["column_groups", "run_stacked_serial"]
+
+
+def column_groups(pending: List[Tuple[str, int]]
+                  ) -> List[List[Tuple[str, int]]]:
+    """Group consecutive pending cells that share a target layer.
+
+    Consecutive-only on purpose: canonical order is the checkpoint,
+    hook, and resume order, and a sweep column is already contiguous in
+    :meth:`CampaignSpec.cells`.  Blind cells always form singleton
+    groups (they are executed serially).
+    """
+    groups: List[List[Tuple[str, int]]] = []
+    for target, count in pending:
+        if (groups and target != BLIND_TARGET
+                and groups[-1][0][0] == target):
+            groups[-1].append((target, count))
+        else:
+            groups.append([(target, count)])
+    return groups
+
+
+def run_stacked_serial(attack: DeepStrike, images: np.ndarray,
+                       labels: np.ndarray, plan_spec: CampaignSpec,
+                       clean: float,
+                       outcomes: Dict[Tuple[str, int], AttackOutcome],
+                       failures: Dict[Tuple[str, int], CellFailure],
+                       *,
+                       checkpoint_path=None,
+                       before_cell: Optional[Callable[[str, int],
+                                                      None]] = None,
+                       stats=None):
+    """The stacked twin of ``run_campaign``'s serial loop.
+
+    Mutates ``outcomes``/``failures`` in place (so the caller's cache
+    banking sees everything that completed) and returns the assembled
+    result.
+    """
+    engine = attack.engine
+    blind_box: Dict[str, BlindAttack] = {}
+
+    def checkpoint() -> None:
+        if checkpoint_path is not None:
+            _atomic_write_text(
+                checkpoint_path,
+                _to_json(_assemble(plan_spec, clean, outcomes, failures),
+                         complete=False),
+            )
+
+    pending = [c for c in plan_spec.cells() if c not in outcomes]
+    for group in column_groups(pending):
+        # Dispatch phase: hooks + stats per cell in canonical order.  A
+        # ReproError here (hook veto) fails that one cell and the group
+        # carries on.
+        live: List[Tuple[str, int]] = []
+        for target, count in group:
+            try:
+                if before_cell is not None:
+                    before_cell(target, count)
+                if stats is not None:
+                    stats.dispatched += 1
+                live.append((target, count))
+            except ReproError as exc:
+                failures[(target, count)] = CellFailure(
+                    target_layer=target, n_strikes=count,
+                    error_type=type(exc).__name__, message=str(exc),
+                )
+                checkpoint()
+        if not live:
+            continue
+
+        # Pricing phase: the whole sweep column in one batched PDN pass
+        # (bit-identical plans — see DeepStrike.plan_for_layers).  A
+        # pricing error anywhere falls back to per-cell serial pricing,
+        # which isolates the offending cell.
+        planned: List[Tuple[str, int, object]] = []
+        if live[0][0] == BLIND_TARGET:
+            planned = [(target, count, None) for target, count in live]
+        else:
+            try:
+                plans = attack.plan_for_layers(live)
+                planned = [(target, count, plan)
+                           for (target, count), plan in zip(live, plans)]
+            except ReproError:
+                for target, count in live:
+                    try:
+                        planned.append(
+                            (target, count,
+                             attack.plan_for_layer(target, count)))
+                    except ReproError as exc:
+                        failures[(target, count)] = CellFailure(
+                            target_layer=target, n_strikes=count,
+                            error_type=type(exc).__name__, message=str(exc),
+                        )
+                        checkpoint()
+        if not planned:
+            continue
+
+        if planned[0][0] == BLIND_TARGET:
+            # Serial singleton: the blind baseline consumes two streams
+            # (engine + blind planner); _execute_cell is the reference.
+            target, count, _ = planned[0]
+            try:
+                outcomes[(target, count)] = _execute_cell(
+                    attack, blind_box, images, labels, plan_spec.seed,
+                    target, count, clean=clean)
+                if stats is not None:
+                    stats.completed += 1
+            except ReproError as exc:
+                failures[(target, count)] = CellFailure(
+                    target_layer=target, n_strikes=count,
+                    error_type=type(exc).__name__, message=str(exc),
+                )
+            finally:
+                checkpoint()
+            continue
+
+        cells_arg = [
+            (plan.struck,
+             np.random.default_rng(
+                 _cell_seed(plan_spec.seed, target, count)))
+            for target, count, plan in planned
+        ]
+        try:
+            # batch_size=None: fxp keeps the reference eval_batch_size
+            # (batch boundaries are part of the byte-parity RNG
+            # stream); fp32 runs the whole eval set as one batch.
+            accs = engine.accuracy_under_attack_many(
+                images, labels, cells_arg,
+                stage_codes=engine.clean_stage_codes(images))
+        except ReproError:
+            # A mid-group failure cannot be attributed to one cell;
+            # fall back to the serial reference per cell, which isolates
+            # the failure and stays byte-identical by construction.
+            for target, count, _plan in planned:
+                try:
+                    outcomes[(target, count)] = _execute_cell(
+                        attack, blind_box, images, labels, plan_spec.seed,
+                        target, count, clean=clean)
+                    if stats is not None:
+                        stats.completed += 1
+                except ReproError as exc:
+                    failures[(target, count)] = CellFailure(
+                        target_layer=target, n_strikes=count,
+                        error_type=type(exc).__name__, message=str(exc),
+                    )
+                finally:
+                    checkpoint()
+            continue
+        for (target, count, plan), attacked in zip(planned, accs):
+            outcomes[(target, count)] = AttackOutcome(
+                target_layer=plan.target_layer,
+                n_strikes=plan.n_strikes_requested,
+                strikes_landed=plan.strikes_landed,
+                clean_accuracy=float(clean),
+                attacked_accuracy=float(attacked),
+                mean_strike_voltage=plan.mean_strike_voltage(),
+            )
+            if stats is not None:
+                stats.completed += 1
+            checkpoint()
+    return _assemble(plan_spec, clean, outcomes, failures)

@@ -25,9 +25,23 @@ levels share one physics.
 from __future__ import annotations
 
 import enum
+from functools import lru_cache
 from typing import Tuple, Union
 
 import numpy as np
+
+
+@lru_cache(maxsize=8)
+def _hermegauss(nodes: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Cached Gauss-Hermite(e) nodes: the eigen-solve behind them costs
+    more than the quadrature itself on the hot path."""
+    return np.polynomial.hermite_e.hermegauss(nodes)
+
+
+@lru_cache(maxsize=8)
+def _leggauss(nodes: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Cached Gauss-Legendre nodes (same rationale as _hermegauss)."""
+    return np.polynomial.legendre.leggauss(nodes)
 
 from ..config import DSPConfig
 from ..sensors.delay import GateDelayModel
@@ -123,7 +137,7 @@ class TimingFaultModel:
         v = np.asarray(voltages, dtype=np.float64)
         uniq, inverse = np.unique(v, return_inverse=True)
         if noise_sigma > 0.0:
-            eps, w_eps = np.polynomial.hermite_e.hermegauss(noise_nodes)
+            eps, w_eps = _hermegauss(noise_nodes)
             w_eps = w_eps / w_eps.sum()
             ve = uniq[:, None] + noise_sigma * eps[None, :]
         else:
@@ -137,7 +151,7 @@ class TimingFaultModel:
         # P(dup | fault, eps): average exp(-depth/tau) over the faulted
         # tail, parameterized as in decide_stream by u = q**shape * s
         # with s ~ U(0, 1), so x = 1 - q * s**(1/shape).
-        s, w_s = np.polynomial.legendre.leggauss(tail_nodes)
+        s, w_s = _leggauss(tail_nodes)
         s = 0.5 * (s + 1.0)
         w_s = 0.5 * w_s
         x = 1.0 - q[..., None] * s ** (1.0 / cfg.excitation_shape)

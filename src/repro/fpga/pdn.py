@@ -16,7 +16,7 @@ provided and produce identical results for identical inputs.
 from __future__ import annotations
 
 import math
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -44,10 +44,17 @@ class PowerDistributionNetwork:
     rng:
         Source for the gaussian supply-noise term; pass None for a
         noise-free network (useful in unit tests).
+    backend:
+        Array-backend name (see :mod:`repro.accel.xp`).  The vectorized
+        trace paths route their linear-recurrence filters through the
+        backend's ``lfilter`` when it provides one; the default
+        ``"numpy"`` backend resolves to ``scipy.signal.lfilter``, i.e.
+        the historical behaviour, bit for bit.
     """
 
     def __init__(self, config: PDNConfig, dt: float,
-                 rng: Optional[np.random.Generator] = None) -> None:
+                 rng: Optional[np.random.Generator] = None,
+                 backend: str = "numpy") -> None:
         config.validate()
         if dt <= 0:
             raise SimulationError("PDN timestep must be positive")
@@ -57,9 +64,13 @@ class PowerDistributionNetwork:
                 "PDN resonance under-resolved: omega_n*dt = "
                 f"{omega_n * dt:.3f} > 0.8; decrease dt or resonance_hz"
             )
+        # Imported lazily: repro.accel pulls in modules that themselves
+        # construct PDNs, so a module-level import would be circular.
+        from ..accel.xp import get_backend
         self.config = config
         self.dt = dt
         self.rng = rng
+        self.backend = get_backend(backend)
         self._omega_n = omega_n
         # Prompt one-pole smoothing coefficient.
         self._alpha_prompt = 1.0 - math.exp(-dt / config.tau_prompt)
@@ -72,6 +83,22 @@ class PowerDistributionNetwork:
         self._y_res_vel = 0.0
         self._y_prompt = self.config.r_prompt * idle
         self._last_v = self._voltage_for(idle)
+
+    @property
+    def state(self) -> Tuple[float, float, float, float]:
+        """Snapshot of the dynamic state ``(y_res, y_res_vel, y_prompt,
+        last_v)``.  Assigning a previously captured snapshot restores
+        the network bit-exactly — e.g. to reuse one settled operating
+        point across many deterministic pricing simulations."""
+        return (self._y_res, self._y_res_vel, self._y_prompt, self._last_v)
+
+    @state.setter
+    def state(self, snapshot: Tuple[float, float, float, float]) -> None:
+        y_res, y_vel, y_prompt, last_v = snapshot
+        self._y_res = float(y_res)
+        self._y_res_vel = float(y_vel)
+        self._y_prompt = float(y_prompt)
+        self._last_v = float(last_v)
 
     # -- streaming ----------------------------------------------------------
 
@@ -142,8 +169,52 @@ class PowerDistributionNetwork:
         self._last_v = float(volts[-1])
         return volts
 
-    def _simulate_lfilter(self, i_total: np.ndarray) -> np.ndarray:
-        """Vectorized trace evaluation via linear-recurrence filters.
+    def simulate_batch(self, load_currents: np.ndarray) -> np.ndarray:
+        """Run many same-length traces from the current state — purely.
+
+        The 2-D map of :meth:`simulate`: row ``k`` of the result is
+        bit-identical to ``simulate(load_currents[k])`` started from the
+        *present* state, but unlike :meth:`simulate` the network state
+        is left untouched, so every row sees the same initial
+        conditions (``tests/fpga/test_pdn.py`` pins the row-for-row
+        equality).  On a noisy network (``rng`` set) the noise matrix is
+        drawn row-major, one row's worth per trace, and is the only
+        state the call consumes.
+        """
+        traces = np.asarray(load_currents, dtype=np.float64)
+        if traces.ndim != 2:
+            raise SimulationError(
+                "load_currents must be a 2-D (traces, ticks) array"
+            )
+        n_rows, n_ticks = traces.shape
+        if n_rows == 0 or n_ticks == 0:
+            return np.empty((n_rows, n_ticks), dtype=np.float64)
+        if np.any(traces < 0):
+            raise SimulationError("negative load current in trace")
+        cfg = self.config
+        i_total = traces + cfg.idle_current
+        if _HAVE_SCIPY:
+            num, den, zi, num_p, den_p, zp = self._recurrence_filters()
+            y = self._lfilter(num, den, i_total,
+                              np.tile(zi, (n_rows, 1)))
+            yp = self._lfilter(num_p, den_p, i_total,
+                               np.tile(zp, (n_rows, 1)))
+            volts = cfg.v_nominal - y - yp - cfg.r_static * i_total
+        else:
+            saved = self.state
+            rows = []
+            for row in i_total:
+                self.state = saved
+                rows.append(self._simulate_loop(row))
+            self.state = saved
+            volts = np.stack(rows)
+        if self.rng is not None and cfg.noise_sigma_v > 0:
+            volts += self.rng.normal(0.0, cfg.noise_sigma_v,
+                                     size=volts.shape)
+        return volts
+
+    def _recurrence_filters(self):
+        """Filter coefficients + initial conditions for the live state.
 
         The semi-implicit Euler update of :meth:`_advance` is the linear
         state recurrence ``s[k+1] = A s[k] + B i[k]`` with state
@@ -151,13 +222,12 @@ class PowerDistributionNetwork:
         is ``y[k] = C s[k+1]``.  Eliminating the velocity gives a direct
         second-order recurrence in ``y`` whose transfer function is
         ``(B0 + (a12*B1 - a22*B0) z^-1) / (1 - tr(A) z^-1 + det(A) z^-2)``
-        — evaluated by ``lfilter`` with initial conditions synthesized
-        from the live ``(y, vel)`` state (``y[-1] = y0`` and
-        ``y[-2] = C A^-1 s0``, the output one virtual step back).  The
-        prompt one-pole term is a first-order ``lfilter`` the same way.
+        — with initial conditions synthesized from the live ``(y, vel)``
+        state (``y[-1] = y0`` and ``y[-2] = C A^-1 s0``, the output one
+        virtual step back).  The prompt one-pole term is a first-order
+        recurrence the same way.
         """
         cfg = self.config
-        n = i_total.shape[0]
         dt, wn = self.dt, self._omega_n
         g = 2.0 * cfg.damping_ratio * wn
         wn2 = wn * wn
@@ -175,20 +245,41 @@ class PowerDistributionNetwork:
         y0, vel0 = self._y_res, self._y_res_vel
         y_before = [y0, (a22 * y0 - a12 * vel0) / det]
         zi = lfiltic(num, den, y_before, [0.0, 0.0])
-        y, _ = lfilter(num, den, i_total, zi=zi)
-
         alpha = self._alpha_prompt
-        zp = lfiltic([alpha * cfg.r_prompt], [1.0, -(1.0 - alpha)],
-                     [self._y_prompt])
-        yp, _ = lfilter([alpha * cfg.r_prompt], [1.0, -(1.0 - alpha)],
-                        i_total, zi=zp)
+        num_p = [alpha * cfg.r_prompt]
+        den_p = [1.0, -(1.0 - alpha)]
+        zp = lfiltic(num_p, den_p, [self._y_prompt])
+        return num, den, zi, num_p, den_p, zp
+
+    def _lfilter(self, num, den, x: np.ndarray,
+                 zi: np.ndarray) -> np.ndarray:
+        """Run one recurrence along the last axis, via the backend's
+        ``lfilter`` when it has one (identical results for numpy, whose
+        backend filter *is* scipy's)."""
+        fn = self.backend.lfilter
+        if fn is not None and self.backend.name != "numpy":
+            y, _ = fn(num, den, self.backend.asarray(x), axis=-1,
+                      zi=self.backend.asarray(zi))
+            return self.backend.asnumpy(y)
+        y, _ = lfilter(num, den, x, axis=-1, zi=zi)
+        return y
+
+    def _simulate_lfilter(self, i_total: np.ndarray) -> np.ndarray:
+        """Vectorized trace evaluation via linear-recurrence filters
+        (see :meth:`_recurrence_filters` for the derivation)."""
+        cfg = self.config
+        n = i_total.shape[0]
+        num, den, zi, num_p, den_p, zp = self._recurrence_filters()
+        y0 = self._y_res
+        y = self._lfilter(num, den, i_total, zi)
+        yp = self._lfilter(num_p, den_p, i_total, zp)
 
         volts = cfg.v_nominal - y - yp - cfg.r_static * i_total
         # Recover the final state: y[k] = y[k-1] + dt*vel[k].
         y_last = float(y[-1])
         y_prev = float(y[-2]) if n >= 2 else y0
         self._y_res = y_last
-        self._y_res_vel = (y_last - y_prev) / dt
+        self._y_res_vel = (y_last - y_prev) / self.dt
         self._y_prompt = float(yp[-1])
         return volts
 

@@ -106,7 +106,15 @@ class QPool:
         if h % k or w % k:
             raise ConfigError(f"{self.name}: {h}x{w} not divisible by {k}")
         windows = x_codes.reshape(n, c, h // k, k, w // k, k)
-        return windows.max(axis=(3, 5))
+        # Pairwise maximum over the k*k window slices: numpy's strided
+        # axis-reduce is ~20x slower on these shapes, and max is
+        # order-free so the result is element-identical.
+        out = windows[:, :, :, 0, :, 0].copy()
+        for i in range(k):
+            for j in range(k):
+                if i or j:
+                    np.maximum(out, windows[:, :, :, i, :, j], out=out)
+        return out
 
     def op_count(self, in_shape: Tuple[int, int, int]) -> int:
         c, h, w = in_shape

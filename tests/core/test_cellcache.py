@@ -238,6 +238,33 @@ class TestContentAddressing:
                                attack.engine.model, images[:8],
                                labels[:8]) != base
 
+    def test_backend_and_dtype_policy_move_the_address(self, victim):
+        """The execution mode is part of the content address: fp32 (or
+        an alternate backend) is tolerance-tier, so its outcomes must
+        never be served to — or poisoned by — a byte-parity fxp run."""
+        attack = fresh_attack(victim)
+        images = victim.dataset.test_images[:16]
+        labels = victim.dataset.test_labels[:16]
+        base = campaign_digest(attack.config, attack.bank_cells,
+                               attack.engine.model, images, labels)
+        fp32 = dataclasses.replace(attack.config, dtype_policy="fp32")
+        assert campaign_digest(fp32, attack.bank_cells,
+                               attack.engine.model, images, labels) != base
+        cupy = dataclasses.replace(attack.config, backend="cupy")
+        assert campaign_digest(cupy, attack.bank_cells,
+                               attack.engine.model, images, labels) != base
+        # And the two knobs are themselves distinct address dimensions.
+        both = dataclasses.replace(attack.config, backend="cupy",
+                                   dtype_policy="fp32")
+        digests = {base,
+                   campaign_digest(fp32, attack.bank_cells,
+                                   attack.engine.model, images, labels),
+                   campaign_digest(cupy, attack.bank_cells,
+                                   attack.engine.model, images, labels),
+                   campaign_digest(both, attack.bank_cells,
+                                   attack.engine.model, images, labels)}
+        assert len(digests) == 4
+
     def test_seed_and_cell_separate_keys(self):
         key = CellCache.cell_key(DIGEST, "pool1", 40, 5)
         assert CellCache.cell_key(DIGEST, "pool1", 40, 6) != key
@@ -268,6 +295,37 @@ class TestWarmCampaign:
         assert warm_stats.dispatched == 0
         assert warm_stats.cache_hits == len(small_spec.cells())
         assert warm_json == cold_json
+
+    def test_fxp_cache_never_serves_an_fp32_run(self, victim, small_spec,
+                                                tmp_path):
+        """Campaign-level twin of the digest test: a cache warmed under
+        the fxp reference gives an fp32 campaign zero hits — every cell
+        recomputes under its own policy's address."""
+        cache_dir = tmp_path / "cellcache"
+
+        def one_run(dtype):
+            from repro.accel import AcceleratorEngine
+            from repro.config import default_config
+
+            config = dataclasses.replace(default_config(),
+                                         dtype_policy=dtype)
+            engine = AcceleratorEngine(victim.quantized, config=config,
+                                       rng=np.random.default_rng(66))
+            attack = DeepStrike(engine, rng=np.random.default_rng(77))
+            stats = SupervisorStats()
+            run_campaign(attack, victim.dataset.test_images,
+                         victim.dataset.test_labels, small_spec,
+                         cache=cache_dir, stats=stats)
+            return stats
+
+        one_run("fxp")
+        fp32_stats = one_run("fp32")
+        assert fp32_stats.cache_hits == 0
+        assert fp32_stats.dispatched == len(small_spec.cells())
+        # Each policy's entries are live under its own digest, though:
+        warm = one_run("fp32")
+        assert warm.cache_hits == len(small_spec.cells())
+        assert warm.dispatched == 0
 
     def test_corrupt_entry_recomputed_transparently(self, victim,
                                                     small_spec, tmp_path):

@@ -1,0 +1,286 @@
+"""Differential serial-vs-stacked parity suite (the stacked path's contract).
+
+The stacked execution path (``run_campaign(..., stacked=True)``) promises
+*byte-identical final campaign JSON* to the serial loop under the numpy
+backend and the default fxp dtype policy — checkpoints, resumes, chaos
+presets, and failure records included.  A sweep column evaluated as one
+``cells x images`` tensor pass may not move a single byte relative to the
+one-cell-at-a-time reference.  These tests enforce that by diffing the
+serialized output of ``stacked=True`` runs against ``workers=1`` runs,
+plus the fallback, hook-ordering, and cache contracts the stacked path
+must preserve.  (The fp32 fast path is *tolerance*-pinned instead — see
+``tests/accel/test_backend_parity.py``.)
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.chaos import ChaosInjector, chaos_preset
+from repro.core import CampaignSpec, DeepStrike, run_campaign
+from repro.core import stacked as stacked_mod
+from repro.core.campaign import _to_json
+from repro.core.supervisor import SupervisorStats
+from repro.errors import ConfigError, ProfilingError
+
+
+@pytest.fixture(scope="module")
+def victim():
+    from repro.zoo import get_pretrained
+
+    return get_pretrained()
+
+
+@pytest.fixture(scope="module")
+def small_spec():
+    # Two pool1 cells form a real sweep column; the blind cell pins the
+    # serial-singleton detour inside the stacked loop.
+    return CampaignSpec(sweeps=(("pool1", (40, 80)),), blind_counts=(40,),
+                        eval_images=16, seed=5)
+
+
+def fresh_attack(victim):
+    from repro.accel import AcceleratorEngine
+
+    engine = AcceleratorEngine(victim.quantized,
+                               rng=np.random.default_rng(66))
+    return DeepStrike(engine, rng=np.random.default_rng(77))
+
+
+def run(victim, spec, **kwargs):
+    return run_campaign(fresh_attack(victim), victim.dataset.test_images,
+                        victim.dataset.test_labels, spec, **kwargs)
+
+
+@pytest.fixture(scope="module")
+def serial_json(victim, small_spec):
+    """The golden artifact every stacked run must reproduce exactly."""
+    return _to_json(run(victim, small_spec), complete=True)
+
+
+class TestByteParity:
+    def test_stacked_matches_serial_bytes(self, victim, small_spec,
+                                          serial_json):
+        stacked = run(victim, small_spec, stacked=True)
+        assert _to_json(stacked, complete=True) == serial_json
+
+    def test_multi_column_spec_matches_serial(self, victim):
+        """Several sweep columns back to back (the fig5b shape, shrunk):
+        grouping must reset at each layer boundary."""
+        spec = CampaignSpec(sweeps=(("conv1", (40, 80)),
+                                    ("pool1", (40, 80)),
+                                    ("fc1", (40,))),
+                            eval_images=16, seed=5)
+        serial = _to_json(run(victim, spec), complete=True)
+        stacked = _to_json(run(victim, spec, stacked=True), complete=True)
+        assert stacked == serial
+
+    def test_checkpointed_stacked_matches_serial(self, victim, small_spec,
+                                                 serial_json, tmp_path):
+        """Checkpoints are written after every cell merge; the final
+        bytes still match the serial run."""
+        ckpt = tmp_path / "ckpt.json"
+        stacked = run(victim, small_spec, stacked=True,
+                      checkpoint_path=ckpt)
+        assert _to_json(stacked, complete=True) == serial_json
+        assert ckpt.exists()
+
+    def test_stacked_excludes_workers(self, victim, small_spec):
+        with pytest.raises(ConfigError, match="stacked"):
+            run(victim, small_spec, stacked=True, workers=2)
+
+    def test_stacked_excludes_service(self, victim, small_spec):
+        from repro.config import ServiceConfig
+
+        with pytest.raises(ConfigError, match="stacked"):
+            run(victim, small_spec, stacked=True, service=ServiceConfig())
+
+
+class TestResumeParity:
+    def test_kill_and_resume_mid_campaign(self, victim, small_spec,
+                                          serial_json, tmp_path,
+                                          monkeypatch):
+        """SIGINT mid-stacked-campaign, resume stacked, final bytes
+        equal the uninterrupted serial run."""
+        ckpt = tmp_path / "ckpt.json"
+        writes = []
+        orig = stacked_mod._atomic_write_text
+
+        def interrupting_write(path, text):
+            orig(path, text)
+            writes.append(text)
+            if len(writes) == 2:
+                raise KeyboardInterrupt  # what SIGINT raises
+
+        monkeypatch.setattr(stacked_mod, "_atomic_write_text",
+                            interrupting_write)
+        with pytest.raises(KeyboardInterrupt):
+            run(victim, small_spec, stacked=True, checkpoint_path=ckpt)
+        monkeypatch.setattr(stacked_mod, "_atomic_write_text", orig)
+        assert ckpt.exists()  # the checkpoint survived the interrupt
+
+        resumed = run(victim, small_spec, stacked=True,
+                      checkpoint_path=ckpt, resume_from=ckpt)
+        assert _to_json(resumed, complete=True) == serial_json
+
+    def test_serial_checkpoint_resumes_stacked(self, victim, small_spec,
+                                               serial_json, tmp_path):
+        """Cross-mode resume: a checkpoint a serial run left behind feeds
+        a stacked run — same v2 checkpoint files either way."""
+        ckpt = tmp_path / "ckpt.json"
+
+        def interrupt(target, count):
+            if (target, count) == ("pool1", 80):
+                raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            run(victim, small_spec, checkpoint_path=ckpt,
+                before_cell=interrupt)
+        resumed = run(victim, small_spec, stacked=True, resume_from=ckpt)
+        assert _to_json(resumed, complete=True) == serial_json
+
+    def test_stacked_checkpoint_resumes_serial(self, victim, small_spec,
+                                               serial_json, tmp_path):
+        """And the other direction: stacked leaves, serial finishes.
+        (The interrupt lands at the *blind* cell: stacked dispatch runs
+        a whole column's hooks up front, so interrupting mid-column
+        would fire before the column's first checkpoint exists.)"""
+        ckpt = tmp_path / "ckpt.json"
+
+        def interrupt(target, count):
+            if target == "blind":
+                raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            run(victim, small_spec, stacked=True, checkpoint_path=ckpt,
+                before_cell=interrupt)
+        resumed = run(victim, small_spec, resume_from=ckpt)
+        assert _to_json(resumed, complete=True) == serial_json
+
+    def test_fully_complete_resume_dispatches_nothing(self, victim,
+                                                      small_spec,
+                                                      serial_json,
+                                                      tmp_path):
+        """Nothing pending: the stacked loop must not execute a cell."""
+        ckpt = tmp_path / "ckpt.json"
+        run(victim, small_spec, checkpoint_path=ckpt)
+        stats = SupervisorStats()
+        resumed = run(victim, small_spec, stacked=True, resume_from=ckpt,
+                      stats=stats)
+        assert stats.dispatched == 0
+        assert _to_json(resumed, complete=True) == serial_json
+
+
+class TestChaosParity:
+    def test_chaos_preset_is_mode_independent(self, victim, small_spec):
+        """The hostile preset kills the same cells stacked or serial:
+        hooks fire per cell at group dispatch time, in canonical order,
+        so a stateful killer makes identical decisions."""
+        def result_for(stacked):
+            injector = ChaosInjector(chaos_preset("hostile", seed=3))
+            return _to_json(
+                run(victim, small_spec, stacked=stacked,
+                    before_cell=injector.campaign_cell_hook),
+                complete=True,
+            )
+
+        assert result_for(True) == result_for(False)
+
+
+class TestFaultIsolation:
+    @pytest.fixture(scope="class")
+    def bad_spec(self):
+        # "nowhere" is not a layer of the victim schedule: batched
+        # pricing for that column fails, and the per-cell pricing
+        # fallback must isolate it as a recorded CellFailure.
+        return CampaignSpec(sweeps=(("pool1", (40,)), ("nowhere", (10,))),
+                            eval_images=16, seed=5)
+
+    def test_pricing_failure_recorded_not_raised(self, victim, bad_spec):
+        result = run(victim, bad_spec, stacked=True)
+        assert [f.target_layer for f in result.failures] == ["nowhere"]
+        assert result.failures[0].error_type == "ConfigError"
+        done = {(s.target_layer, o.n_strikes)
+                for s in result.sweeps for o in s.outcomes}
+        assert done == {("pool1", 40)}
+
+    def test_failures_match_serial_bytes(self, victim, bad_spec):
+        serial = _to_json(run(victim, bad_spec), complete=True)
+        stacked = _to_json(run(victim, bad_spec, stacked=True),
+                           complete=True)
+        assert stacked == serial
+
+    def test_dispatch_time_failure_skips_only_that_cell(self, victim,
+                                                        small_spec):
+        """A hook veto mid-column fails that one cell; the rest of the
+        group still runs (and the blind singleton after it)."""
+        def hook(target, count):
+            if (target, count) == ("pool1", 40):
+                raise ProfilingError("injected at dispatch")
+
+        result = run(victim, small_spec, stacked=True, before_cell=hook)
+        assert [(f.target_layer, f.n_strikes)
+                for f in result.failures] == [("pool1", 40)]
+        done = {(s.target_layer, o.n_strikes)
+                for s in result.sweeps for o in s.outcomes}
+        assert done == {("pool1", 80), ("blind", 40)}
+
+    def test_mid_group_eval_failure_falls_back_to_serial(
+            self, victim, small_spec, serial_json, monkeypatch):
+        """A ReproError out of the stacked tensor pass cannot be blamed
+        on one cell: the group re-runs through the serial reference,
+        which isolates per cell — and still matches serial bytes."""
+        from repro.accel import AcceleratorEngine
+
+        def explode(self, *args, **kwargs):
+            raise ProfilingError("stacked pass died mid-group")
+
+        monkeypatch.setattr(AcceleratorEngine, "accuracy_under_attack_many",
+                            explode)
+        stacked = run(victim, small_spec, stacked=True)
+        assert _to_json(stacked, complete=True) == serial_json
+
+
+class TestDispatchSemantics:
+    def test_before_cell_fires_in_process_in_canonical_order(
+            self, victim, small_spec):
+        """The pinned contract: hooks run in this process, at group
+        dispatch time, in canonical CampaignSpec.cells() order."""
+        seen = []
+
+        def hook(target, count):
+            seen.append((os.getpid(), target, count))
+
+        run(victim, small_spec, stacked=True, before_cell=hook)
+        assert [(t, c) for _, t, c in seen] == small_spec.cells()
+        assert {pid for pid, _, _ in seen} == {os.getpid()}
+
+
+class TestWarmCache:
+    def test_warm_cache_stacked_run_recomputes_nothing(self, victim,
+                                                       small_spec,
+                                                       serial_json,
+                                                       tmp_path):
+        """A serial run warms the cell cache; a stacked rerun over the
+        same digest merges every cell from cache (dispatched == 0) and
+        still emits the serial bytes — and vice versa."""
+        cache_dir = tmp_path / "cache"
+        run(victim, small_spec, cache=cache_dir)
+
+        stats = SupervisorStats()
+        warm = run(victim, small_spec, stacked=True, cache=cache_dir,
+                   stats=stats)
+        assert stats.dispatched == 0
+        assert stats.cache_hits == len(small_spec.cells())
+        assert _to_json(warm, complete=True) == serial_json
+
+    def test_stacked_run_warms_the_cache(self, victim, small_spec,
+                                         serial_json, tmp_path):
+        cache_dir = tmp_path / "cache"
+        run(victim, small_spec, stacked=True, cache=cache_dir)
+
+        stats = SupervisorStats()
+        warm = run(victim, small_spec, cache=cache_dir, stats=stats)
+        assert stats.dispatched == 0
+        assert _to_json(warm, complete=True) == serial_json

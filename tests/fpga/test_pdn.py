@@ -121,3 +121,86 @@ class TestProperties:
             return idle - pdn.simulate(trace).min()
 
         assert peak_droop(0.4) == pytest.approx(2 * peak_droop(0.2), rel=0.02)
+
+
+class TestBatch:
+    """simulate_batch: the 2-D pure map of simulate (the batched pricing
+    path leans on both promises — row equality and state purity)."""
+
+    def traces(self):
+        t = np.zeros((3, 400))
+        t[0, 100:110] = 0.4          # one strike burst
+        t[1, :] = 0.1                # steady load
+        t[2, 50:350] = 0.25          # long plateau
+        return t
+
+    def test_rows_bit_equal_to_simulate_from_same_state(self, pdn):
+        pdn.settle(0.15)
+        snap = pdn.state
+        batch = pdn.simulate_batch(self.traces())
+        for row, trace in zip(batch, self.traces()):
+            pdn.state = snap
+            np.testing.assert_array_equal(row, pdn.simulate(trace))
+
+    def test_batch_leaves_state_untouched(self, pdn):
+        pdn.settle(0.15)
+        snap = pdn.state
+        first = pdn.simulate_batch(self.traces())
+        assert pdn.state == snap
+        np.testing.assert_array_equal(first, pdn.simulate_batch(self.traces()))
+
+    def test_state_snapshot_round_trip(self, pdn):
+        """The state property contract the batch path builds on:
+        assigning a captured snapshot restores the network bit-exactly."""
+        pdn.settle(0.1)
+        snap = pdn.state
+        after_burst = pdn.simulate(np.full(200, 0.5))
+        assert pdn.state != snap
+        pdn.state = snap
+        np.testing.assert_array_equal(pdn.simulate(np.full(200, 0.5)),
+                                      after_burst)
+
+    def test_loop_fallback_matches_per_row_reference(self, pdn, monkeypatch):
+        """Without scipy the batch runs the scalar loop per row — still
+        pure, still row-for-row equal to simulate."""
+        import repro.fpga.pdn as pdn_mod
+
+        monkeypatch.setattr(pdn_mod, "_HAVE_SCIPY", False)
+        pdn.settle(0.15)
+        snap = pdn.state
+        batch = pdn.simulate_batch(self.traces())
+        assert pdn.state == snap
+        for row, trace in zip(batch, self.traces()):
+            pdn.state = snap
+            np.testing.assert_array_equal(row, pdn.simulate(trace))
+
+    def test_noise_is_drawn_row_major_on_top_of_the_clean_rows(self, config):
+        """On a noisy network the batch adds one rng.normal matrix over
+        the deterministic rows — reconstructable stream, untouched state."""
+        clean = PowerDistributionNetwork(config.pdn, dt=config.clock.sim_dt,
+                                         rng=None)
+        noisy = PowerDistributionNetwork(config.pdn, dt=config.clock.sim_dt,
+                                         rng=np.random.default_rng(42))
+        snap = noisy.state
+        got = noisy.simulate_batch(self.traces())
+        assert noisy.state == snap
+        want = clean.simulate_batch(self.traces())
+        rng = np.random.default_rng(42)
+        rng.normal(0.0, config.pdn.noise_sigma_v)  # construction draw
+        want = want + rng.normal(0.0, config.pdn.noise_sigma_v,
+                                 size=want.shape)
+        np.testing.assert_array_equal(got, want)
+
+    def test_one_dimensional_input_rejected(self, pdn):
+        with pytest.raises(SimulationError, match="2-D"):
+            pdn.simulate_batch(np.zeros(100))
+
+    def test_negative_current_rejected(self, pdn):
+        bad = self.traces()
+        bad[1, 7] = -0.01
+        with pytest.raises(SimulationError):
+            pdn.simulate_batch(bad)
+
+    def test_empty_batch_is_empty(self, pdn):
+        assert pdn.simulate_batch(np.empty((0, 10))).shape == (0, 10)
+        assert pdn.simulate_batch(np.empty((4, 0))).shape == (4, 0)
