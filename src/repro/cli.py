@@ -14,6 +14,7 @@ Subcommands::
     python -m repro serve           # run a campaign as a broker service
     python -m repro work            # attach a worker to a running broker
     python -m repro cache gc        # prune a cell cache to a size bound
+    python -m repro lint            # AST contract linter (--strict in CI)
 """
 
 from __future__ import annotations
@@ -216,6 +217,29 @@ def build_parser() -> argparse.ArgumentParser:
                        help="best-of-N timing repeats")
     bench.add_argument("--pdn-ticks", type=int, default=2_000_000,
                        help="trace length for the PDN bench")
+
+    lint = sub.add_parser("lint",
+                          help="AST contract linter: determinism, clock, "
+                               "durability, exception, wire-protocol, and "
+                               "backend-purity rules")
+    lint.add_argument("paths", nargs="*", metavar="PATH",
+                      help="files/directories to lint (default: the "
+                           "installed repro package)")
+    lint.add_argument("--strict", action="store_true",
+                      help="exit 1 on any finding not in the baseline")
+    lint.add_argument("--baseline", default=None, metavar="JSON",
+                      help="baseline file (default: lint_baseline.json "
+                           "found walking up from the package)")
+    lint.add_argument("--no-baseline", action="store_true",
+                      help="ignore any baseline file (report everything)")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="grandfather the current findings into the "
+                           "baseline file and exit")
+    lint.add_argument("--rules", default=None, metavar="ID[,ID...]",
+                      help="run only these rule ids")
+    lint.add_argument("--format", dest="fmt", default="text",
+                      choices=("text", "json"),
+                      help="findings output format")
     return parser
 
 
@@ -395,8 +419,9 @@ def _cmd_report(args) -> int:
 
     text = "\n".join(lines)
     if args.output:
-        with open(args.output, "w") as handle:
-            handle.write(text + "\n")
+        from .core.campaign import _atomic_write_text
+
+        _atomic_write_text(args.output, text + "\n")
         print(f"report written to {args.output}")
     else:
         print(text)
@@ -645,6 +670,73 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    import json
+    from pathlib import Path
+
+    from .errors import LintError
+    from .lint import (Baseline, default_baseline_path, lint_paths,
+                       rules_by_id)
+
+    try:
+        rule_ids = args.rules.split(",") if args.rules else None
+        rules = rules_by_id(rule_ids)
+        paths = args.paths or [Path(__file__).resolve().parent]
+        report = lint_paths(paths, rules)
+
+        if args.write_baseline:
+            target = args.baseline or str(default_baseline_path())
+            Baseline.from_findings(report.findings).save(target)
+            print(f"baseline written to {target} "
+                  f"({len(report.findings)} finding(s) grandfathered)")
+            return 0
+
+        baseline = Baseline()
+        baseline_path = None
+        if not args.no_baseline:
+            baseline_path = Path(args.baseline) if args.baseline \
+                else default_baseline_path()
+            if baseline_path.exists():
+                baseline = Baseline.load(baseline_path)
+            elif args.baseline:
+                raise LintError(f"baseline not found: {baseline_path}")
+    except LintError as exc:
+        print(f"lint error: {exc}", file=sys.stderr)
+        return 2
+
+    fresh = baseline.filter_new(report.findings)
+    stale = baseline.stale_entries(report.findings)
+
+    if args.fmt == "json":
+        print(json.dumps({
+            "files_checked": report.files_checked,
+            "rules_run": list(report.rules_run),
+            "findings": [f.to_dict() for f in fresh],
+            "baselined": len(report.findings) - len(fresh),
+            "stale_baseline_entries": [
+                {"rule": e.rule, "path": e.path, "snippet": e.snippet}
+                for e in stale
+            ],
+        }, indent=2))
+    else:
+        for finding in fresh:
+            print(finding.render())
+        summary = (f"{len(fresh)} new finding(s), "
+                   f"{len(report.findings) - len(fresh)} baselined, "
+                   f"{report.files_checked} files, "
+                   f"{len(report.rules_run)} rules")
+        if baseline_path is not None and baseline.entries:
+            summary += f" (baseline: {baseline_path})"
+        print(summary)
+        for entry in stale:
+            print(f"stale baseline entry (violation gone — remove it): "
+                  f"{entry.rule} {entry.path}: {entry.snippet}")
+
+    if fresh and args.strict:
+        return 1
+    return 0
+
+
 _COMMANDS = {
     "train": _cmd_train,
     "summary": _cmd_summary,
@@ -659,6 +751,7 @@ _COMMANDS = {
     "cache": _cmd_cache,
     "defend": _cmd_defend,
     "bench": _cmd_bench,
+    "lint": _cmd_lint,
 }
 
 

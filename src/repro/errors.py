@@ -74,6 +74,17 @@ class ChaosError(ReproError):
     """A failure injected by the chaos harness (not a real library bug)."""
 
 
+class LintError(ReproError):
+    """The contract linter could not run (bad path, rule id, or baseline).
+
+    Raised by :mod:`repro.lint` for *operational* failures — an
+    unreadable lint path, an unknown ``--rules`` id, a malformed or
+    version-mismatched ``lint_baseline.json``.  Rule findings are not
+    errors; they are data (:class:`repro.lint.Finding`) and drive the
+    CLI exit code instead.
+    """
+
+
 class ProtocolError(ReproError):
     """A campaign-service wire frame was malformed or oversized.
 

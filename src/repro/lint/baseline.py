@@ -1,0 +1,165 @@
+"""Committed-baseline machinery: grandfather deliberate violations.
+
+``lint_baseline.json`` records findings that are *known and accepted*
+(each with a reason), keyed content-addressed — ``(rule, path, stripped
+source line)`` plus a count for identical lines — so the baseline
+survives line drift but expires the moment the offending code changes.
+``repro lint --strict`` fails on any finding not covered here, and
+reports baseline entries that no longer match anything so stale grants
+get cleaned up instead of accumulating.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import LintError
+from .findings import Finding
+
+__all__ = ["Baseline", "BaselineEntry"]
+
+BASELINE_VERSION = 1
+
+Key = Tuple[str, str, str]
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted violation (``count`` identical lines in one file)."""
+
+    rule: str
+    path: str
+    snippet: str
+    count: int = 1
+    reason: str = ""
+
+    def key(self) -> Key:
+        return (self.rule, self.path, self.snippet)
+
+
+@dataclass
+class Baseline:
+    """The set of grandfathered findings."""
+
+    entries: List[BaselineEntry] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path) -> "Baseline":
+        path = Path(path)
+        try:
+            payload = json.loads(path.read_text())
+        except OSError as exc:
+            raise LintError(f"cannot read baseline {path}: {exc}") from exc
+        except ValueError as exc:
+            raise LintError(f"baseline {path} is not JSON: {exc}") from exc
+        if not isinstance(payload, dict) or "entries" not in payload:
+            raise LintError(f"baseline {path} missing 'entries'")
+        version = payload.get("version")
+        if version != BASELINE_VERSION:
+            raise LintError(
+                f"baseline {path} has version {version!r}, "
+                f"expected {BASELINE_VERSION}"
+            )
+        entries = []
+        for raw in payload["entries"]:
+            try:
+                entries.append(BaselineEntry(
+                    rule=raw["rule"], path=raw["path"],
+                    snippet=raw["snippet"],
+                    count=int(raw.get("count", 1)),
+                    reason=raw.get("reason", ""),
+                ))
+            except (KeyError, TypeError, ValueError) as exc:
+                raise LintError(
+                    f"baseline {path} has a malformed entry: {raw!r}"
+                ) from exc
+        return cls(entries=entries)
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding],
+                      reason: str = "grandfathered by --write-baseline"
+                      ) -> "Baseline":
+        counts: Counter = Counter(f.key() for f in findings)
+        entries = [
+            BaselineEntry(rule=rule, path=path, snippet=snippet,
+                          count=count, reason=reason)
+            for (rule, path, snippet), count in sorted(counts.items())
+        ]
+        return cls(entries=entries)
+
+    def save(self, path) -> None:
+        """Write the baseline through the repo's fsync-atomic writer —
+        the linter holds itself to the durability contract it enforces."""
+        from ..core.campaign import _atomic_write_text
+
+        payload = {
+            "version": BASELINE_VERSION,
+            "entries": [
+                {
+                    "rule": e.rule, "path": e.path, "snippet": e.snippet,
+                    "count": e.count, "reason": e.reason,
+                }
+                for e in self.entries
+            ],
+        }
+        _atomic_write_text(path, json.dumps(payload, indent=2) + "\n")
+
+    # -- matching ----------------------------------------------------------
+
+    def _budget(self) -> Dict[Key, int]:
+        budget: Dict[Key, int] = {}
+        for entry in self.entries:
+            budget[entry.key()] = budget.get(entry.key(), 0) + entry.count
+        return budget
+
+    def filter_new(self, findings: Sequence[Finding]) -> List[Finding]:
+        """Findings *not* covered by the baseline.
+
+        Identical lines consume the baseline budget in file order; any
+        beyond the recorded count are new.
+        """
+        budget = self._budget()
+        fresh = []
+        for finding in sorted(findings):
+            key = finding.key()
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+            else:
+                fresh.append(finding)
+        return fresh
+
+    def stale_entries(self, findings: Sequence[Finding]
+                      ) -> List[BaselineEntry]:
+        """Entries whose violation no longer exists (candidates for
+        removal — a shrinking baseline is the point)."""
+        live: Counter = Counter(f.key() for f in findings)
+        stale = []
+        for entry in self.entries:
+            have = live.get(entry.key(), 0)
+            if have < entry.count:
+                stale.append(entry)
+        return stale
+
+    def rules_present(self) -> Tuple[str, ...]:
+        return tuple(sorted({e.rule for e in self.entries}))
+
+
+def default_baseline_path(start: Optional[Path] = None) -> Path:
+    """Locate ``lint_baseline.json``: walk up from ``start`` (default:
+    the installed ``repro`` package) so running from the repo root, a
+    subdirectory, or the src layout all find the committed file; falls
+    back to ``lint_baseline.json`` in the current directory."""
+    if start is None:
+        start = Path(__file__).resolve().parent
+    probe = Path(start).resolve()
+    while True:
+        candidate = probe / "lint_baseline.json"
+        if candidate.exists():
+            return candidate
+        if probe.parent == probe:
+            return Path("lint_baseline.json")
+        probe = probe.parent

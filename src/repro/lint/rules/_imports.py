@@ -1,0 +1,59 @@
+"""Shared import-resolution helper for the AST rules.
+
+Several rules need to answer "does this call target ``time.monotonic``
+/ ``np.random.shuffle`` / ``default_rng``?" robustly against aliasing
+(``import numpy as np``, ``from time import monotonic as mono``).  An
+:class:`ImportTable` scans a module's import statements once and then
+resolves any ``Name``/``Attribute`` expression to its dotted origin
+(``"numpy.random.default_rng"``), or ``None`` when the expression does
+not bottom out in an imported module.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Optional
+
+__all__ = ["ImportTable"]
+
+
+class ImportTable:
+    """Maps local names to the dotted path they were imported as."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        #: local alias -> dotted origin ("np" -> "numpy",
+        #: "mono" -> "time.monotonic")
+        self.names: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    # ``import a.b`` binds ``a`` to package ``a``;
+                    # ``import a.b as c`` binds ``c`` to ``a.b``.
+                    origin = alias.name if alias.asname else \
+                        alias.name.split(".")[0]
+                    self.names[local] = origin
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:  # relative import: not an external module
+                    continue
+                module = node.module or ""
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.names[local] = f"{module}.{alias.name}"
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Dotted origin of an expression, e.g. ``np.random.shuffle`` ->
+        ``"numpy.random.shuffle"``; None for non-import-rooted names."""
+        parts = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        origin = self.names.get(node.id)
+        if origin is None:
+            return None
+        parts.append(origin)
+        return ".".join(reversed(parts))

@@ -1,0 +1,186 @@
+"""Exception-discipline rules.
+
+The public failure contract (``repro/errors.py``): everything the
+library raises derives from :class:`~repro.errors.ReproError`, so
+callers — the campaign's fault isolation above all — can catch library
+failures without swallowing unrelated bugs.  ``_execute_cell`` converts
+``ReproError`` into a structured ``CellFailure`` and lets anything else
+crash the worker loudly; a stray ``raise ValueError`` in library code
+therefore either kills a campaign that should have recorded a cell
+failure, or worse, gets silently eaten by an over-broad handler.
+
+* ``REPRO-EXC001`` — no bare ``except:`` anywhere (it swallows
+  ``KeyboardInterrupt``/``SystemExit`` and masks real bugs; catch
+  ``Exception`` or better, a concrete type).
+* ``REPRO-EXC002`` — ``raise`` statements in ``repro.*`` construct
+  ``ReproError`` subclasses.  Allowed anyway: bare re-raises, raising a
+  caught variable, ``NotImplementedError`` (abstract methods),
+  ``SystemExit``/``KeyboardInterrupt`` (process control), and raises of
+  stdlib types that are *locally handled* — thrown and caught inside
+  the same function's ``try`` (the cell-cache integrity check uses
+  ``ValueError`` as internal control flow and converts it to a miss).
+
+The ``ReproError`` family is discovered statically: the rule scans
+every linted file for classes whose bases resolve (transitively) to
+``ReproError``, so subclasses defined outside ``errors.py`` — e.g.
+``FrameError`` in ``core/remote.py`` — are recognized without a
+registry to maintain.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from ..engine import FileContext, ProjectRule, Rule
+from ..findings import Finding
+
+__all__ = ["BareExceptRule", "RaiseDisciplineRule"]
+
+#: Raises that are legal everywhere regardless of the ReproError family.
+_ALWAYS_ALLOWED = frozenset({
+    "NotImplementedError", "SystemExit", "KeyboardInterrupt",
+    "StopIteration", "AssertionError",
+})
+
+#: Handler names that catch everything (for the locally-handled check).
+_CATCH_ALL = frozenset({"Exception", "BaseException"})
+
+
+class BareExceptRule(Rule):
+    rule_id = "REPRO-EXC001"
+    title = "no bare except"
+    contract = ("Handlers name what they catch; a bare except swallows "
+                "KeyboardInterrupt and masks bugs the fault-isolation "
+                "layer is supposed to surface.")
+    hint = "catch a concrete exception type (or Exception at the broadest)"
+    scopes = ("repro/*",)
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(ctx, node, "bare 'except:' clause")
+
+
+def _exception_name(node: ast.AST) -> str:
+    """Class name of a raised expression: ``X`` from ``raise X(...)`` /
+    ``raise X``; empty string when not statically resolvable."""
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return ""
+
+
+def _handler_names(handler: ast.ExceptHandler) -> Set[str]:
+    names: Set[str] = set()
+    node = handler.type
+    elts = node.elts if isinstance(node, ast.Tuple) else [node]
+    for elt in elts:
+        name = _exception_name(elt) if elt is not None else ""
+        if name:
+            names.add(name)
+    return names
+
+
+class RaiseDisciplineRule(ProjectRule):
+    rule_id = "REPRO-EXC002"
+    title = "public failures are ReproError"
+    contract = ("repro.* raises only ReproError subclasses (plus process "
+                "control and locally handled internals), so callers can "
+                "catch library failures without catching bugs.")
+    hint = ("raise a ReproError subclass from repro/errors.py (add one "
+            "if no existing type fits), or handle the exception locally")
+    scopes = ("repro/*",)
+
+    #: Root of the sanctioned exception family.
+    root = "ReproError"
+
+    def _family(self, ctxs: Sequence[FileContext]) -> Set[str]:
+        """All class names transitively derived from ``ReproError``."""
+        bases: Dict[str, Set[str]] = {}
+        for ctx in ctxs:
+            for node in ast.walk(ctx.tree):
+                if isinstance(node, ast.ClassDef):
+                    bases.setdefault(node.name, set()).update(
+                        _exception_name(b) for b in node.bases)
+        family = {self.root}
+        changed = True
+        while changed:
+            changed = False
+            for name, parents in bases.items():
+                if name not in family and parents & family:
+                    family.add(name)
+                    changed = True
+        return family
+
+    def check_project(self, ctxs: Sequence[FileContext]
+                      ) -> Iterable[Finding]:
+        family = self._family(ctxs)
+        findings: List[Finding] = []
+        for ctx in ctxs:
+            self._check_file(ctx, family, findings)
+        return findings
+
+    def _check_file(self, ctx: FileContext, family: Set[str],
+                    findings: List[Finding]) -> None:
+
+        def visit(node: ast.AST, caught: Tuple[Set[str], ...],
+                  bound: Set[str]) -> None:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+                # enclosing try blocks do not guard a nested def's body
+                # at call time — its raises start from a clean slate
+                for sub in ast.iter_child_nodes(node):
+                    visit(sub, (), set())
+                return
+            if isinstance(node, ast.Try):
+                handled: Set[str] = set()
+                for handler in node.handlers:
+                    handled |= _handler_names(handler)
+                # only the try *body* is guarded by the handlers
+                for stmt in node.body:
+                    visit(stmt, caught + (handled,), bound)
+                for handler in node.handlers:
+                    handler_bound = bound | {handler.name} \
+                        if handler.name else bound
+                    for stmt in handler.body:
+                        visit(stmt, caught, handler_bound)
+                for stmt in node.orelse + node.finalbody:
+                    visit(stmt, caught, bound)
+                return
+            if isinstance(node, ast.Raise):
+                self._check_raise(ctx, node, family, caught, bound,
+                                  findings)
+            for sub in ast.iter_child_nodes(node):
+                visit(sub, caught, bound)
+
+        for top in ctx.tree.body:
+            visit(top, (), set())
+
+    def _check_raise(self, ctx: FileContext, node: ast.Raise,
+                     family: Set[str], caught: Tuple[Set[str], ...],
+                     bound: Set[str], findings: List[Finding]) -> None:
+        if node.exc is None:
+            return  # bare re-raise
+        name = _exception_name(node.exc)
+        if not name:
+            return  # dynamic expression; not statically checkable
+        if isinstance(node.exc, ast.Name) and name in bound:
+            return  # re-raising a caught variable
+        if not isinstance(node.exc, ast.Call) \
+                and isinstance(node.exc, ast.Name) \
+                and name not in family and name[:1].islower():
+            return  # re-raising some local variable
+        if name in family or name in _ALWAYS_ALLOWED:
+            return
+        for handled in caught:
+            if name in handled or handled & _CATCH_ALL:
+                return  # thrown-and-caught internal control flow
+        findings.append(self.finding(
+            ctx, node,
+            f"raise of non-ReproError '{name}' escapes the public "
+            "failure contract",
+        ))
