@@ -77,13 +77,20 @@ def timed_run(victim, spec, workers=1, stacked=False):
 
 
 def sticky_floors(payload):
-    """Merge committed floors over freshly derived ones (committed win)."""
+    """Merge committed floors over freshly derived ones (committed win).
+
+    Modes skipped this run (absent cupy/jax backends) derive no fresh
+    floor, but their *committed* floor is carried forward — a
+    numpy-only host must never erase the floor a GPU host recorded.
+    """
+    modes = payload["sweep_columns"]["modes"]
     fresh = {
         "serial_cells_per_sec": round(
             payload["serial_cells_per_sec"] * FLOOR_FRACTION, 3),
         "sweep_columns": {
             mode: round(row["cells_per_sec"] * FLOOR_FRACTION, 3)
-            for mode, row in payload["sweep_columns"]["modes"].items()
+            for mode, row in modes.items()
+            if row.get("status", "measured") == "measured"
         },
     }
     try:
@@ -92,9 +99,11 @@ def sticky_floors(payload):
         committed = {}
     if "serial_cells_per_sec" in committed:
         fresh["serial_cells_per_sec"] = committed["serial_cells_per_sec"]
-    for mode, floor in committed.get("sweep_columns", {}).items():
-        if mode in fresh["sweep_columns"]:
-            fresh["sweep_columns"][mode] = floor
+    fresh["sweep_columns"].update({
+        mode: floor
+        for mode, floor in committed.get("sweep_columns", {}).items()
+        if mode in modes
+    })
     return fresh
 
 
@@ -139,6 +148,9 @@ def test_campaign_throughput(victim):
     print(f"  serial : {t_serial:6.2f}s  ({serial_cps:.2f} cells/s)")
     print(f"  stacked: {t_stacked:6.2f}s  ({stacked_cps:.2f} cells/s)")
     for mode, row in sweep["modes"].items():
+        if row.get("status") == "skipped":
+            print(f"  sweep {mode}: skipped ({row.get('reason')})")
+            continue
         print(f"  sweep {mode}: {row['cells_per_sec']:.2f} cells/s "
               f"({row['column_seconds']:.3f}s columns)")
 
@@ -160,10 +172,14 @@ def test_campaign_throughput(victim):
     payload["floors"] = sticky_floors(payload)
     _atomic_write_text(BENCH_PATH, json.dumps(payload, indent=2) + "\n")
 
-    # Sticky regression floors.
+    # Sticky regression floors (measured modes only; skipped modes keep
+    # their committed floor in the file for hosts that can run them).
     assert serial_cps >= payload["floors"]["serial_cells_per_sec"]
     for mode, floor in payload["floors"]["sweep_columns"].items():
-        cps = sweep["modes"][mode]["cells_per_sec"]
+        row = sweep["modes"].get(mode)
+        if not row or row.get("status", "measured") != "measured":
+            continue
+        cps = row["cells_per_sec"]
         assert cps >= floor, f"{mode}: {cps:.2f} cells/s under its " \
                              f"committed floor {floor:.2f}"
 

@@ -131,10 +131,14 @@ class AcceleratorEngine:
         # fresh allocation while producing the identical stream.
         self._u_bufs: Dict[Tuple[int, int], np.ndarray] = {}
         # The razor observation stream is only materialized when a
-        # subclass actually overrides the hook.
+        # subclass actually overrides one of the observation hooks
+        # (the batched site hook, or the legacy per-image hook that the
+        # base site hook fans out to).
         self._observe_is_noop = (
             type(self)._observe_fault_types
             is AcceleratorEngine._observe_fault_types
+            and type(self)._observe_fault_sites
+            is AcceleratorEngine._observe_fault_sites
         )
         # Exposure records keyed on (layer, struck cycles, voltages):
         # the op/voltage arrays plus the per-kind gather indices derived
@@ -339,8 +343,45 @@ class AcceleratorEngine:
     def _observe_fault_types(self, types: np.ndarray,
                              voltages: np.ndarray) -> None:
         """Hook: one image's per-exposed-op fault outcomes, right after
-        they are decided.  The base engine ignores them; the hardened
-        engine's razor shadow latches watch this exact stream."""
+        they are decided.  The base engine ignores them; subclasses that
+        override only this legacy hook get it via the dense fan-out in
+        :meth:`_observe_fault_sites`."""
+        return None
+
+    def _observe_fault_sites(self, n_images: int, n_ops: int,
+                             img: np.ndarray, pos: np.ndarray,
+                             dup: np.ndarray,
+                             voltages: np.ndarray) -> None:
+        """Hook: one injection batch's sparse fault sites, right after
+        the class split is decided and before any further draws.
+
+        ``(img, pos)`` index the faulted (image, exposed-op) sites in
+        image-major order; ``dup`` is their duplication/random split.
+        The hardened engine's razor watches this batched stream
+        directly (:class:`~repro.defense.RazorDetector.
+        observe_batch_dense`).  The base implementation is the
+        compatibility fan-out: it materializes the per-image dense type
+        rows and feeds the legacy :meth:`_observe_fault_types` hook —
+        one call per image, fault-free images included — so a subclass
+        overriding only the per-image hook sees the exact pre-batching
+        stream.
+        """
+        type_vals = np.where(dup, np.int8(FaultType.DUPLICATION),
+                             np.int8(FaultType.RANDOM))
+        types = np.zeros((n_images, n_ops), dtype=np.int8)
+        types[img, pos] = type_vals
+        for n in range(n_images):
+            self._observe_fault_types(types[n], voltages)
+
+    def _doomed_images(self) -> Optional[np.ndarray]:
+        """Hook: per-image mask of outputs the observer guarantees will
+        be discarded and recomputed (consulted right after
+        :meth:`_observe_fault_sites`).  The hardened engine returns its
+        fresh razor flags here whenever a rollback replay is guaranteed
+        to follow, letting the injector skip the doomed images' delta
+        math, garbage draws, and scatter.  Only honoured under the fp32
+        dtype policy — the skipped garbage draws are part of the fxp
+        byte-parity stream.  The base engine discards nothing."""
         return None
 
     def predict_under_attack(self, images: np.ndarray,
@@ -659,9 +700,11 @@ class AcceleratorEngine:
             offsets = (np.cumsum(counts) - counts).astype(np.int32)
             full = pf_c >= self._SPARSE_FULL_P
             lam = -np.log1p(-np.where(full, 0.0, pf_c))
-            plan = (lam, full, counts, offsets)
+            width = int(counts[0]) if counts.size \
+                and bool(np.all(counts == counts[0])) else 0
+            plan = (lam, full, counts, offsets, width)
             record["sparse"][model] = plan
-        lam, full, counts, offsets = plan
+        lam, full, counts, offsets, width = plan
         n_ops = int(record["ops"].shape[0])
         empty = np.empty(0, dtype=np.int64)
         if n_ops == 0:
@@ -675,12 +718,30 @@ class AcceleratorEngine:
         flats = []
         if total:
             cyc = np.repeat(np.arange(counts.shape[0], dtype=np.int32), m)
-            u = self.rng.random(total)
-            bcyc = block[cyc]
-            loc = np.minimum((u * bcyc).astype(np.int32), bcyc - np.int32(1))
-            img_part, lane = np.divmod(loc, counts[cyc])
-            flats.append(img_part * np.int32(n_ops)
-                         + offsets[cyc] + lane)
+            if width and width * n_images <= 1 << 20:
+                # Constant-width cycles (every struck cycle exposes the
+                # full lane set — the overwhelmingly common exposure):
+                # scalar-divisor placement, and the uniforms drop to
+                # float32.  A 24-bit mantissa spreads exactly evenly
+                # over any power-of-two block and to one part in
+                # 2**24 / block otherwise — block stays ~2**13, so the
+                # placement law is uniform to float32 resolution (the
+                # fp32 tier's documented precision).
+                blk = np.int32(width * n_images)
+                u = self.rng.random(total, dtype=np.float32)
+                loc = np.minimum((u * np.float32(blk)).astype(np.int32),
+                                 blk - np.int32(1))
+                img_part, lane = np.divmod(loc, np.int32(width))
+                flats.append(img_part * np.int32(n_ops)
+                             + cyc * np.int32(width) + lane)
+            else:
+                u = self.rng.random(total)
+                bcyc = block[cyc]
+                loc = np.minimum((u * bcyc).astype(np.int32),
+                                 bcyc - np.int32(1))
+                img_part, lane = np.divmod(loc, counts[cyc])
+                flats.append(img_part * np.int32(n_ops)
+                             + offsets[cyc] + lane)
         if np.any(full):
             # Saturated cycles: every exposed op of every image faults.
             fcols = np.concatenate([
@@ -692,9 +753,13 @@ class AcceleratorEngine:
                           * np.int32(n_ops) + fcols[None, :]).reshape(-1))
         if not flats:
             return empty, empty
+        flat = flats[0] if len(flats) == 1 else np.concatenate(flats)
         # Dedupe + sort by hand: np.unique's hash path is ~40x slower
-        # than a plain sort on these integer index arrays.
-        flat = np.sort(np.concatenate(flats))
+        # than a plain sort on these integer index arrays, and a
+        # site-space bitmap scatter/scan loses to the sort even at the
+        # heaviest banks (the scan pays for the whole 9M-site space;
+        # the sort only for the ~2M draws).
+        flat = np.sort(flat)
         if flat.size > 1:
             flat = flat[np.concatenate(([True], flat[1:] != flat[:-1]))]
         # Sites stay int32 end to end — the injector gathers and the
@@ -718,14 +783,24 @@ class AcceleratorEngine:
         return self.rng.random(out=buf)
 
     def _mac_faults_batch(self, record: dict, n_images: int, products,
-                          force_class: Optional[str] = None
+                          force_class: Optional[str] = None,
+                          dense: Optional[tuple] = None
                           ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Sparse accumulator error terms for a batch's exposed MAC ops.
 
         ``products(img, pos)`` gathers ``(p_cur, p_prev)`` for candidate
         fault sites only — the hot path never materializes the dense
-        ``(n_images, n_ops)`` product matrices.  Returns ``(img, pos,
-        delta)`` triplets of the ops that actually faulted.
+        ``(n_images, n_ops)`` product matrices per call.  Returns
+        ``(img, pos, delta)`` triplets of the ops that actually faulted.
+
+        ``dense`` (fp32 tier, big exposures) is a precomputed
+        ``(p_cur, p_prev, transitions)`` triple over the full
+        ``(n_images, n_ops)`` grid from :meth:`_dense_products` — a pure
+        function of the clean input and op enumeration, so one build is
+        shared by every cell, defense, and replay on the same batch.
+        With it, the transition filter becomes a single boolean gather
+        and the product gathers run *after* the razor/discard filters,
+        on the surviving sites only.
 
         Two data-dependence effects gate the damage, both consequences
         of timing faults only corrupting *transitioning* bits:
@@ -758,14 +833,27 @@ class AcceleratorEngine:
             # index pass.
             flat = np.flatnonzero(u < p_fault)
             img, pos = np.divmod(flat, n_ops)
-        if img.size:
+        lazy = dense is not None and self.dtype_policy == "fp32"
+        p_cur = p_prev = np.empty(0, dtype=np.int64)
+        flat_idx = np.empty(0, dtype=np.int32)
+        if img.size and lazy:
+            # Product gathers are deferred until after the razor/discard
+            # filters; only the transition filter runs now (one bool
+            # gather from the precomputed dense mask).  Skipped when no
+            # observer listens, same trade as the closure path below.
+            flat_idx = img * np.int32(n_ops) + pos
+            if not self._observe_is_noop:
+                keep = np.take(dense[2], flat_idx)
+                img, pos = img[keep], pos[keep]
+                flat_idx = flat_idx[keep]
+        elif img.size:
             p_cur, p_prev = products(img, pos)
             if p_cur.dtype != np.int64 and self._observe_is_noop:
-                # fp32 path: products are integer-valued floats (codes
-                # fit float32 exactly).  The dup/garbage math below is
-                # integer, and every value involved — products and the
-                # 18-bit garbage word — fits int32, which halves the
-                # memory traffic of the widest hot-path arrays.
+                # fp32 fast path: products are integer-valued floats
+                # (codes fit float32 exactly) and stay float32 — the
+                # dup delta below is exact in float32 (|delta| < 2**15)
+                # and only the random-class garbage slice ever needs
+                # integer bit-math.
                 #
                 # No transition filter here: a non-transitioning site
                 # (p_cur == p_prev) provably yields delta == 0 in both
@@ -776,8 +864,7 @@ class AcceleratorEngine:
                 # gathers cost more than the ~16% zero-delta sites they
                 # remove.  Draw counts shift accordingly: part of the
                 # documented fp32 stream difference.
-                p_cur = p_cur.astype(np.int32)
-                p_prev = p_prev.astype(np.int32)
+                pass
             else:
                 # != is dtype-exact; the dense reference stream draws
                 # per *transitioning* op, so the filter is part of fxp
@@ -785,11 +872,6 @@ class AcceleratorEngine:
                 keep = p_cur != p_prev
                 img, pos = img[keep], pos[keep]
                 p_cur, p_prev = p_cur[keep], p_prev[keep]
-                if p_cur.dtype != np.int64:
-                    p_cur = p_cur.astype(np.int32)
-                    p_prev = p_prev.astype(np.int32)
-        else:
-            p_cur = p_prev = np.empty(0, dtype=np.int64)
         n_faulted = img.size
         if self.dtype_policy == "fp32":
             # Half-width split draws (part of the documented fp32
@@ -806,49 +888,151 @@ class AcceleratorEngine:
         if force_class is not None:
             dup[:] = force_class == "duplication"
         if not self._observe_is_noop:
-            type_vals = np.where(dup, np.int8(FaultType.DUPLICATION),
-                                 np.int8(FaultType.RANDOM))
-            types = np.zeros((n_images, n_ops), dtype=np.int8)
-            types[img, pos] = type_vals
-            volts = record["volts"]
-            for n in range(n_images):
-                self._observe_fault_types(types[n], volts)
-        # One vectorized subtract + select beats four boolean gathers on
-        # arrays this size; random-class entries are overwritten below.
-        delta = np.where(dup, p_prev - p_cur, p_cur.dtype.type(0))
-        rnd = ~dup
-        n_random = int(np.count_nonzero(rnd))
+            self._observe_fault_sites(n_images, n_ops, img, pos, dup,
+                                      record["volts"])
+            if self._touch_log is not None:
+                self._touch_log.append(img)
+            doomed = self._doomed_images()
+            if doomed is not None and img.size:
+                # The observer just promised these images' outputs will
+                # be discarded and recomputed (a rollback replay is
+                # guaranteed to follow) — their delta math, garbage
+                # draws, and scatter are pure waste.  fp32 tier only:
+                # the garbage draw count is part of the fxp byte-parity
+                # stream.
+                live = ~doomed[img]
+                if not live.all():
+                    img, pos = img[live], pos[live]
+                    dup = dup[live]
+                    if lazy:
+                        flat_idx = flat_idx[live]
+                    else:
+                        p_cur, p_prev = p_cur[live], p_prev[live]
+        elif self._touch_log is not None:
+            self._touch_log.append(img)
+        if lazy and img.size:
+            # Deferred product gathers, on the post-filter survivors
+            # only: int16 dense storage widened to int32 (a product
+            # tops out at 128 * 128, but a delta needs 17 bits).
+            p_cur = np.take(dense[0], flat_idx).astype(np.int32)
+            p_prev = np.take(dense[1], flat_idx).astype(np.int32)
+        int_t = np.int32 if p_cur.dtype != np.int64 else np.int64
+        # The duplication law for every site — random-class entries are
+        # overwritten below, so no select is needed here.
+        delta = p_prev - p_cur
+        n_random = int(img.size) - int(np.count_nonzero(dup))
         if n_random:
             word = (1 << _RANDOM_FAULT_BITS) - 1
-            u_cur = p_cur[rnd] & word
-            u_prev = p_prev[rnd] & word
-            # Zero toggling (an unfiltered fp32 non-transition site)
-            # gives width 0, mask 0, captured == settled word: delta 0.
-            toggling = u_cur ^ u_prev
-            # Bits above the highest toggling bit are settled; below it,
-            # anything may be captured.  Note a sign flip toggles the
-            # whole word (two's complement), yielding large garbage.
-            # frexp's exponent IS floor(log2)+1 for exact ints, and the
-            # word is 18 bits < 2**24, so float32 frexp is exact for
-            # both policies.
-            width = np.frexp(toggling.astype(np.float32))[1].astype(
-                p_cur.dtype)
-            mask = (p_cur.dtype.type(1) << width) - 1
-            # Under fxp the draw stays int64 (draw width is part of the
-            # byte-parity RNG stream); fp32 draws the same law at
-            # 32-bit width, again a documented stream difference.
-            if p_cur.dtype == np.int32:
-                rand_bits = self.rng.integers(0, word + 1, size=n_random,
+            sign = 1 << (_RANDOM_FAULT_BITS - 1)
+            if int_t is np.int32:
+                # fp32: garbage math runs full-vector over every faulted
+                # site and blends by mask — boolean-gathering the
+                # random-class slice costs more than computing the ~2x
+                # extra elements, and the full-width draw is part of the
+                # documented fp32 stream difference.
+                cur = p_cur.astype(np.int32, copy=False)
+                u_cur = cur & np.int32(word)
+                u_prev = p_prev.astype(np.int32, copy=False) & np.int32(word)
+                # Zero toggling (an unfiltered fp32 non-transition site)
+                # gives width 0, mask 0, captured == settled word:
+                # delta 0.  frexp's exponent IS floor(log2)+1 for exact
+                # ints, and the word is 18 bits < 2**24, so float32
+                # frexp is exact.
+                toggling = u_cur ^ u_prev
+                width = np.frexp(toggling.astype(np.float32))[1] \
+                    .astype(np.int32)
+                mask = (np.int32(1) << width) - np.int32(1)
+                rand_bits = self.rng.integers(0, word + 1, size=img.size,
                                               dtype=np.int32)
+                captured = (u_cur & ~mask) | (rand_bits & mask)
+                # Two's-complement sign extension of the 18-bit word,
+                # branch-free.
+                captured = (captured ^ np.int32(sign)) - np.int32(sign)
+                np.copyto(delta, (captured - cur).astype(delta.dtype,
+                                                         copy=False),
+                          where=~dup)
             else:
+                # fxp: the draw count and width are part of the
+                # byte-parity RNG stream — one int64 draw per
+                # random-class site, exactly as the dense reference.
+                rnd = ~dup
+                cur = p_cur[rnd]
+                u_cur = cur & np.int64(word)
+                u_prev = p_prev[rnd] & np.int64(word)
+                # Bits above the highest toggling bit are settled;
+                # below it, anything may be captured.  A sign flip
+                # toggles the whole word (two's complement), yielding
+                # large garbage.
+                toggling = u_cur ^ u_prev
+                width = np.frexp(toggling.astype(np.float32))[1] \
+                    .astype(np.int64)
+                mask = (np.int64(1) << width) - np.int64(1)
                 rand_bits = self.rng.integers(0, word + 1, size=n_random)
-            captured = (u_cur & ~mask) | (rand_bits & mask)
-            captured = np.where(captured >= 1 << (_RANDOM_FAULT_BITS - 1),
-                                captured - (1 << _RANDOM_FAULT_BITS), captured)
-            delta[rnd] = captured - p_cur[rnd]
-        if self._touch_log is not None:
-            self._touch_log.append(img)
+                captured = (u_cur & ~mask) | (rand_bits & mask)
+                captured = (captured ^ np.int64(sign)) - np.int64(sign)
+                delta[rnd] = captured - cur
         return img, pos, delta
+
+    #: Candidate-grid size (images * exposed ops) above which the fp32
+    #: injectors precompute the dense product/transition grids.  Below
+    #: it, the per-call sparse product closure is cheaper than a build.
+    _DENSE_PRODUCTS_MIN = 1 << 21
+
+    #: Expected faulted-site count below which a dense build cannot pay
+    #: for itself even on a big grid (e.g. divided-clock replay passes,
+    #: whose fault probabilities collapse to ~0 — building there would
+    #: also evict the full-rate grid the next cell needs).
+    _DENSE_SITES_MIN = 1 << 17
+
+    def _wants_dense_products(self, record: dict, n_images: int) -> bool:
+        """True when the active fault model's expected site count on
+        this exposure justifies (or already paid for) a dense build."""
+        if self.dtype_policy != "fp32":
+            return False
+        if self._observe_is_noop:
+            # No observer means no transition prefilter and no deferred
+            # gathers — the sparse product closure touches each
+            # candidate once, so a dense build never amortizes.  (A
+            # campaign cell's single injection pass lands here; the
+            # defended engines' razor/replay machinery does not.)
+            return False
+        if n_images * record["ops"].shape[0] < self._DENSE_PRODUCTS_MIN:
+            return False
+        pf_c, _ = self._cycle_probs(record, self.dsp_faults)
+        expected = float(np.dot(pf_c, record["counts"])) * n_images
+        return expected >= self._DENSE_SITES_MIN
+
+    def _dense_products(self, record: dict, key_obj, src2d: np.ndarray,
+                        cur_idx: np.ndarray, w_cur: np.ndarray,
+                        prev_idx: np.ndarray, w_prev: np.ndarray) -> tuple:
+        """Dense ``(p_cur, p_prev, transitions)`` grids over the full
+        ``(n_images, n_ops)`` exposure, for the fp32 tier's big layers.
+
+        The grids are pure functions of the clean layer input and the
+        op enumeration — independent of bank voltages, defense, RNG
+        stream, and replay clock — so one build (cached in the exposure
+        record per input-array identity) serves every cell, every
+        defense, and every replay pass on the same batch.  Products top
+        out at 128 * 128, so int16 storage halves the gather bandwidth
+        of the hot path that consumes them.  Returned flattened
+        (row-major over ``(image, op)``) so consumers gather with the
+        same flat index they already carry.
+        """
+        cached = record.get("dense_prod")
+        if cached is not None and cached[0] is key_obj:
+            return cached[1]
+        # Fancy-indexing axis 1 yields F-ordered intermediates, which
+        # astype would preserve — multiply into C-ordered outputs so the
+        # flattened views below are views, not 18 MB copies per gather.
+        shape = (src2d.shape[0], cur_idx.shape[0])
+        p_cur = np.empty(shape, dtype=np.int16)
+        np.multiply(src2d[:, cur_idx], w_cur, out=p_cur, casting="unsafe")
+        p_prev = np.empty(shape, dtype=np.int16)
+        np.multiply(src2d[:, prev_idx], w_prev, out=p_prev, casting="unsafe")
+        triple = (p_cur.ravel(), p_prev.ravel(),
+                  (p_cur != p_prev).ravel())
+        record["dense_prod"] = (key_obj, triple)
+        return triple
 
     # -- per-kind injectors ----------------------------------------------------------
 
@@ -961,8 +1145,18 @@ class AcceleratorEngine:
             p_prev = np.take(flat_cols, base + g["prj"][pos]) * g["w_prev"][pos]
             return p_cur, p_prev
 
+        dense = None
+        if self._wants_dense_products(record, n_images):
+            # Keyed on the layer-input identity, not the unfolded view:
+            # replay passes unfold fresh ``x_in[pending]`` slices that
+            # can evict the im2col cache slot, while the clean stage
+            # codes feeding a full-rate injection stay pinned upstream.
+            dense = self._dense_products(
+                record, x_codes, flat_cols.reshape(n_images, rk),
+                g["rj"], g["w_cur"], g["prj"], g["w_prev"],
+            )
         img, pos, delta = self._mac_faults_batch(record, n_images, products,
-                                                 entry.force_class)
+                                                 entry.force_class, dense)
         self._scatter_add(acc.reshape(n_images, -1), img,
                           g["targets"][pos], delta)
         return acc
@@ -1012,8 +1206,14 @@ class AcceleratorEngine:
             p_prev = np.take(flat_x, base + g["pj"][pos]) * g["w_prev"][pos]
             return p_cur, p_prev
 
+        dense = None
+        if self._wants_dense_products(record, n_images):
+            dense = self._dense_products(
+                record, x_codes, flat_x.reshape(n_images, in_f),
+                g["j"], g["w_cur"], g["pj"], g["w_prev"],
+            )
         img, pos, delta = self._mac_faults_batch(record, n_images, products,
-                                                 entry.force_class)
+                                                 entry.force_class, dense)
         self._scatter_add(acc, img, g["targets"][pos], delta)
         return acc
 
@@ -1051,12 +1251,8 @@ class AcceleratorEngine:
             img, pos = np.divmod(flat_hit, n_ops)
         is_dup = self.rng.random(img.size) < p_dup[pos]
         if not self._observe_is_noop:
-            types = np.zeros((n_images, n_ops), dtype=np.int8)
-            types[img, pos] = np.where(is_dup,
-                                       np.int8(FaultType.DUPLICATION),
-                                       np.int8(FaultType.RANDOM))
-            for n in range(n_images):
-                self._observe_fault_types(types[n], volts)
+            self._observe_fault_sites(n_images, n_ops, img, pos, is_dup,
+                                      volts)
         if img.size == 0:
             return out
         fop = ops[pos]

@@ -205,6 +205,25 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run only the arms race")
     defend.add_argument("--tmr", action="store_true",
                         help="add a TMR-final-FC defense arm")
+    defend.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="shard arms-race cells across N worker "
+                             "processes (byte-identical to serial)")
+    defend.add_argument("--checkpoint", default=None, metavar="JSON",
+                        help="write a campaign-format checkpoint after "
+                             "every arms-race cell")
+    defend.add_argument("--resume", default=None, metavar="JSON",
+                        help="resume the arms race from a campaign "
+                             "checkpoint (completed cells are skipped)")
+    defend.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="content-addressed cell cache shared with "
+                             "campaign runs; warm cells are merged "
+                             "without recomputation")
+    defend.add_argument("--backend", default=None,
+                        choices=("numpy", "cupy", "jax"),
+                        help="array backend for the defended engines")
+    defend.add_argument("--dtype", default=None, choices=("fxp", "fp32"),
+                        help="dtype policy (fxp = bit-exact reference, "
+                             "fp32 = fast tier)")
 
     bench = sub.add_parser("bench",
                            help="engine hot-path micro-benchmarks "
@@ -594,13 +613,22 @@ def _cmd_defend(args) -> int:
     import json
 
     from .analysis.armsrace import arms_race_table
-    from .config import RecoveryConfig
-    from .core.campaign import _atomic_write_text
+    from .config import RecoveryConfig, default_config
+    from .core.campaign import _atomic_write_text, run_campaign
+    from .core.executor import DefenseGridSpec, WorkerRecipe
     from .defense import (ArmsRaceStudy, DetectionStudy, DroopMonitor,
                           default_defenses)
 
-    victim, engine, _, sensor = _sensor_and_attack(args.seed,
-                                                   max(args.cells))
+    config = None
+    if args.backend is not None or args.dtype is not None:
+        overrides = {}
+        if args.backend is not None:
+            overrides["backend"] = args.backend
+        if args.dtype is not None:
+            overrides["dtype_policy"] = args.dtype
+        config = dataclasses.replace(default_config(), **overrides)
+    victim, engine, attack, sensor = _sensor_and_attack(
+        args.seed, max(args.cells), config=config)
     images = victim.dataset.test_images[:args.images]
     labels = victim.dataset.test_labels[:args.images]
 
@@ -627,8 +655,36 @@ def _cmd_defend(args) -> int:
         defenses.append(("tmr", RecoveryConfig(
             tmr_final_fc=True, exhaustion_policy="accept")))
     race = ArmsRaceStudy(victim.quantized, images, labels,
-                         target_layer=args.layer, seed=args.seed)
-    cells = race.sweep([(c, args.strikes) for c in args.cells], defenses)
+                         config=attack.config, target_layer=args.layer,
+                         seed=args.seed)
+    # The grid runs as a campaign: every (bank, defense) column becomes
+    # an arms:<layer>:<defense>@<bank> sweep, which buys the supervisor,
+    # worker pool, cell cache, and checkpoint/resume machinery for free.
+    # Cells are seed-isolated, so the result is bit-identical to a
+    # direct ArmsRaceStudy.sweep at every worker count.
+    spec = race.campaign_spec([(c, args.strikes) for c in args.cells],
+                              defenses)
+    recipe = WorkerRecipe.from_attack(
+        attack, defense=DefenseGridSpec(
+            enabled=True, input_shape=tuple(engine.input_shape)))
+    result = run_campaign(attack, images, labels, spec,
+                          checkpoint_path=args.checkpoint or args.resume,
+                          resume_from=args.resume,
+                          workers=args.workers,
+                          recipe=recipe,
+                          cache=args.cache_dir)
+    if result.failures:
+        print(f"{len(result.failures)} arms-race cell(s) failed:")
+        for failure in result.failures:
+            print(f"  {failure.target_layer} x{failure.n_strikes}: "
+                  f"{failure.error_type}: {failure.message}")
+        return 1
+    # Campaign order is column-major; the report keeps the historical
+    # intensity-major / defense-minor order, so its bytes are unchanged.
+    by_key = {(c.bank_cells, c.defense): c
+              for sweep in result.sweeps for c in sweep.outcomes}
+    cells = [by_key[(bank, label)]
+             for bank in args.cells for label, _recovery in defenses]
     print("== arms race ==")
     print(arms_race_table(cells))
 

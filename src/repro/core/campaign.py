@@ -57,6 +57,12 @@ FORMAT_VERSION = 2
 #: Sweep name under which the unguided baseline's cells are recorded.
 BLIND_TARGET = "blind"
 
+#: Target prefix routing a cell to the arms-race (defended inference)
+#: runner — the grammar is ``arms:<layer>:<defense>@<bank_cells>``; see
+#: :func:`repro.defense.arms_target`.  Kept as a literal here so the
+#: campaign core never imports the defense package for plain campaigns.
+ARMS_TARGET_PREFIX = "arms:"
+
 
 @dataclass(frozen=True)
 class CampaignSpec:
@@ -179,6 +185,24 @@ def _execute_cell(attack: DeepStrike, blind_box: Dict[str, BlindAttack],
     campaign-level clean-accuracy baseline, measured once and shared so
     cells skip the per-cell clean forward pass.
     """
+    if target.startswith(ARMS_TARGET_PREFIX):
+        if not blind_box.get("__arms_enabled__", True):
+            raise ConfigError(
+                f"worker received arms-race cell '{target}' but its "
+                f"recipe has the defense grid disabled (set "
+                f"DefenseGridSpec(enabled=True) on the WorkerRecipe)"
+            )
+        runner = blind_box.get("__arms__")
+        if runner is None:
+            from ..defense.evaluation import DefendedCellRunner
+
+            runner = DefendedCellRunner(
+                attack.engine.model, images, labels,
+                config=attack.config, seed=base_seed,
+                input_shape=attack.engine.input_shape,
+            )
+            blind_box["__arms__"] = runner
+        return runner.run(target, count)
     seed = _cell_seed(base_seed, target, count)
     _reseed(attack.engine.rng, seed)
     if target == BLIND_TARGET:
@@ -529,6 +553,30 @@ def _atomic_write_text(path, text: str) -> None:
         raise
 
 
+def _outcome_to_payload(outcome) -> dict:
+    """Serialize a cell outcome to a JSON-safe dict.
+
+    Plain :class:`AttackOutcome` cells keep their historical v2 shape
+    (no discriminator — existing files stay byte-stable); arms-race
+    cells carry ``"kind": "arms"`` so loaders can rebuild the right
+    dataclass.
+    """
+    payload = asdict(outcome)
+    if type(outcome).__name__ == "ArmsRaceCell":
+        payload["kind"] = "arms"
+    return payload
+
+
+def _outcome_from_payload(raw: dict):
+    """Inverse of :func:`_outcome_to_payload`."""
+    if raw.get("kind") == "arms":
+        from ..defense.evaluation import ArmsRaceCell
+
+        data = {k: v for k, v in raw.items() if k != "kind"}
+        return ArmsRaceCell(**data)
+    return AttackOutcome(**raw)
+
+
 def _to_json(result: CampaignResult, complete: bool) -> str:
     payload = {
         "format_version": FORMAT_VERSION,
@@ -545,7 +593,7 @@ def _to_json(result: CampaignResult, complete: bool) -> str:
         "sweeps": [
             {
                 "target_layer": s.target_layer,
-                "outcomes": [asdict(o) for o in s.outcomes],
+                "outcomes": [_outcome_to_payload(o) for o in s.outcomes],
             }
             for s in result.sweeps
         ],
@@ -586,7 +634,7 @@ def load_campaign(path) -> CampaignResult:
     for sweep_data in payload["sweeps"]:
         sweep = LayerSweepResult(sweep_data["target_layer"])
         for raw in sweep_data["outcomes"]:
-            sweep.outcomes.append(AttackOutcome(**raw))
+            sweep.outcomes.append(_outcome_from_payload(raw))
         result.sweeps.append(sweep)
     result.failures = [CellFailure(**raw)
                        for raw in payload.get("failures", ())]

@@ -185,7 +185,9 @@ class CellCache:
             payload = entry["payload"]
             if entry["digest"] != _payload_digest(payload):
                 raise ValueError("payload integrity digest mismatch")
-            outcome = AttackOutcome(**payload)
+            from .campaign import _outcome_from_payload
+
+            outcome = _outcome_from_payload(payload)
         except (ValueError, KeyError, TypeError):
             self.stats.corrupt += 1
             self.stats.misses += 1
@@ -202,10 +204,14 @@ class CellCache:
         return outcome
 
     def put(self, key: str, outcome: AttackOutcome) -> None:
-        """Store an outcome under its content address (atomic write)."""
-        from .campaign import _atomic_write_text
+        """Store an outcome under its content address (atomic write).
 
-        payload = asdict(outcome)
+        Arms-race cells serialize with the same ``"kind"`` discriminator
+        the campaign files use, so one cache serves both cell species.
+        """
+        from .campaign import _atomic_write_text, _outcome_to_payload
+
+        payload = _outcome_to_payload(outcome)
         entry = {
             "format_version": ENTRY_FORMAT_VERSION,
             "key": key,

@@ -70,7 +70,25 @@ from .campaign import (
 )
 from .evaluation import AttackOutcome
 
-__all__ = ["WorkerRecipe", "run_parallel"]
+__all__ = ["DefenseGridSpec", "WorkerRecipe", "run_parallel"]
+
+
+@dataclass(frozen=True)
+class DefenseGridSpec:
+    """Whether (and how) a worker may execute arms-race cells.
+
+    Arms-race campaign cells (``arms:<layer>:<defense>@<bank>`` targets)
+    build a :class:`~repro.defense.DefendedCellRunner` inside the worker
+    — hardened engines, clamp calibration, defended clean caches — which
+    plain attack campaigns never need.  The grid is therefore opt-in:
+    a worker whose recipe leaves ``enabled=False`` refuses arms cells
+    with a structured failure instead of silently building the defense
+    stack.  ``input_shape`` is the victim's input tensor shape, which
+    the runner's engines need and the zoo name alone does not carry.
+    """
+
+    enabled: bool = False
+    input_shape: Tuple[int, ...] = (1, 28, 28)
 
 
 @dataclass(frozen=True)
@@ -78,26 +96,31 @@ class WorkerRecipe:
     """Everything a worker process needs to rebuild the attack.
 
     Deliberately *data only*: a zoo victim name, a frozen
-    :class:`SimulationConfig`, and the striker bank size.  The worker
-    initializer loads the victim's cached weights by name
-    (:func:`repro.zoo.load_quantized`), rebuilds the engine and
-    :class:`DeepStrike` from the config, and relies on per-cell
-    reseeding for parity — so nothing stateful ever crosses the process
-    boundary.
+    :class:`SimulationConfig`, the striker bank size, and the defense
+    grid spec.  The worker initializer loads the victim's cached
+    weights by name (:func:`repro.zoo.load_quantized`), rebuilds the
+    engine and :class:`DeepStrike` from the config, and relies on
+    per-cell reseeding for parity — so nothing stateful ever crosses
+    the process boundary.
     """
 
     victim_name: str = "lenet5"
     bank_cells: int = DEFAULT_ATTACK_CELLS
     config: SimulationConfig = field(default_factory=default_config)
+    defense: DefenseGridSpec = field(default_factory=DefenseGridSpec)
 
     @classmethod
     def from_attack(cls, attack: DeepStrike,
-                    victim_name: str = "lenet5") -> "WorkerRecipe":
+                    victim_name: str = "lenet5",
+                    defense: Optional[DefenseGridSpec] = None,
+                    ) -> "WorkerRecipe":
         """Derive a recipe from a live attack (zoo victims only — the
         worker relocates the victim by ``victim_name``, so a model that
         did not come from the zoo needs its own recipe)."""
         return cls(victim_name=victim_name, bank_cells=attack.bank_cells,
-                   config=attack.config)
+                   config=attack.config,
+                   defense=defense if defense is not None
+                   else DefenseGridSpec())
 
 
 # ---------------------------------------------------------------------------
@@ -133,10 +156,15 @@ def _build_state(recipe: WorkerRecipe, images: np.ndarray,
 
     quantized = load_quantized(recipe.victim_name)
     engine = AcceleratorEngine(quantized, config=recipe.config,
-                               rng=np.random.default_rng(0))
+                               rng=np.random.default_rng(0),
+                               input_shape=tuple(recipe.defense.input_shape))
     attack = DeepStrike(engine, bank_cells=recipe.bank_cells,
                         rng=np.random.default_rng(0))
-    return _WorkerState(attack=attack, blind_box={},
+    # The blind box doubles as the per-process singleton store; the
+    # arms-race gate rides along so _execute_cell can refuse defended
+    # cells on workers that did not opt in.
+    blind_box = {"__arms_enabled__": recipe.defense.enabled}
+    return _WorkerState(attack=attack, blind_box=blind_box,
                         images=images, labels=labels, clean=clean)
 
 

@@ -59,6 +59,7 @@ from ..campaign import (
     CellFailure,
     _assemble,
     _execute_cell,
+    _outcome_from_payload,
     _to_json,
 )
 from ..evaluation import AttackOutcome
@@ -470,7 +471,7 @@ class CampaignBroker:
                 self.stats.duplicates_dropped += 1
                 return {"type": "ack", "duplicate": True}
             if msg.get("kind") == "outcome":
-                self.outcomes[cell] = AttackOutcome(**msg["payload"])
+                self.outcomes[cell] = _outcome_from_payload(msg["payload"])
                 self.stats.completed += 1
             else:
                 self.failures[cell] = CellFailure(**msg["payload"])

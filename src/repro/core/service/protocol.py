@@ -205,6 +205,10 @@ def _dataclass_from_dict(cls, data: dict):
         hint = hints.get(field_obj.name)
         if dataclasses.is_dataclass(hint) and value is not None:
             value = _dataclass_from_dict(hint, value)
+        elif typing.get_origin(hint) is tuple and isinstance(value, list):
+            # JSON has no tuple; restore tuple-typed fields (e.g. the
+            # defense grid's input_shape) so round trips stay ==-exact.
+            value = tuple(value)
         kwargs[field_obj.name] = value
     try:
         return cls(**kwargs)

@@ -43,7 +43,7 @@ from typing import Dict, Optional, Tuple
 
 from ...errors import ProtocolError, ReproError
 from .. import executor as _exec
-from ..campaign import CellFailure, _execute_cell
+from ..campaign import CellFailure, _execute_cell, _outcome_to_payload
 from ..cellcache import CellCache
 from .protocol import decode_array, decode_recipe, recv_msg, send_msg
 
@@ -211,7 +211,8 @@ def _run_cell(address: Tuple[str, int], assign: dict,
     cached = outcome is not None
     if cached:
         report.cache_hits += 1
-        result = {"kind": "outcome", "payload": vars(outcome).copy()}
+        result = {"kind": "outcome",
+                  "payload": _outcome_to_payload(outcome)}
     else:
         try:
             outcome = _execute_cell(state.attack, state.blind_box,
@@ -227,7 +228,8 @@ def _run_cell(address: Tuple[str, int], assign: dict,
             report.executed += 1
             if key is not None:
                 cache.put(key, outcome)
-            result = {"kind": "outcome", "payload": vars(outcome).copy()}
+            result = {"kind": "outcome",
+                      "payload": _outcome_to_payload(outcome)}
 
     shard = assign.get("shard") or {}
     if shard.get("delay"):

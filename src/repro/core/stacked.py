@@ -42,12 +42,20 @@ import numpy as np
 from ..errors import ReproError
 from .attack import DeepStrike
 from .blind import BlindAttack
-from .campaign import (BLIND_TARGET, CampaignSpec, CellFailure,
-                       _assemble, _atomic_write_text, _cell_seed,
-                       _execute_cell, _to_json)
+from .campaign import (ARMS_TARGET_PREFIX, BLIND_TARGET, CampaignSpec,
+                       CellFailure, _assemble, _atomic_write_text,
+                       _cell_seed, _execute_cell, _to_json)
 from .evaluation import AttackOutcome
 
 __all__ = ["column_groups", "run_stacked_serial"]
+
+
+def _serial_only(target: str) -> bool:
+    """Targets that bypass the stacked tensor pass: the blind baseline
+    (two RNG streams) and arms-race cells (defended engines with their
+    own replay control flow).  Both run through ``_execute_cell``, the
+    byte-parity reference."""
+    return target == BLIND_TARGET or target.startswith(ARMS_TARGET_PREFIX)
 
 
 def column_groups(pending: List[Tuple[str, int]]
@@ -56,12 +64,12 @@ def column_groups(pending: List[Tuple[str, int]]
 
     Consecutive-only on purpose: canonical order is the checkpoint,
     hook, and resume order, and a sweep column is already contiguous in
-    :meth:`CampaignSpec.cells`.  Blind cells always form singleton
-    groups (they are executed serially).
+    :meth:`CampaignSpec.cells`.  Blind and arms-race cells always form
+    singleton groups (they are executed serially).
     """
     groups: List[List[Tuple[str, int]]] = []
     for target, count in pending:
-        if (groups and target != BLIND_TARGET
+        if (groups and not _serial_only(target)
                 and groups[-1][0][0] == target):
             groups[-1].append((target, count))
         else:
@@ -123,7 +131,7 @@ def run_stacked_serial(attack: DeepStrike, images: np.ndarray,
         # pricing error anywhere falls back to per-cell serial pricing,
         # which isolates the offending cell.
         planned: List[Tuple[str, int, object]] = []
-        if live[0][0] == BLIND_TARGET:
+        if _serial_only(live[0][0]):
             planned = [(target, count, None) for target, count in live]
         else:
             try:
@@ -145,9 +153,10 @@ def run_stacked_serial(attack: DeepStrike, images: np.ndarray,
         if not planned:
             continue
 
-        if planned[0][0] == BLIND_TARGET:
-            # Serial singleton: the blind baseline consumes two streams
-            # (engine + blind planner); _execute_cell is the reference.
+        if _serial_only(planned[0][0]):
+            # Serial singleton: blind baselines consume two streams and
+            # arms-race cells run defended engines; _execute_cell is the
+            # reference for both.
             target, count, _ = planned[0]
             try:
                 outcomes[(target, count)] = _execute_cell(

@@ -25,8 +25,10 @@ scanning; oscillators-without-combinational-loops as a known threat):
 
 from .droop_monitor import DroopMonitor, MonitorVerdict
 from .bitstream_scan import BitstreamScanner, ScanFinding, ScanReport
-from .evaluation import (ArmsRaceCell, ArmsRaceStudy, DetectionStudy,
-                         DetectionResult, default_defenses)
+from .evaluation import (ArmsRaceCell, ArmsRaceStudy, DefendedCellRunner,
+                         DetectionStudy, DetectionResult, arms_target,
+                         default_defenses, parse_arms_target,
+                         resolve_defense)
 from .hardened_engine import HardenedAcceleratorEngine
 from .recovery import (ActivationClamp, RazorDetector, RecoveryStats,
                        StageBounds)
@@ -36,6 +38,7 @@ __all__ = [
     "ArmsRaceCell",
     "ArmsRaceStudy",
     "BitstreamScanner",
+    "DefendedCellRunner",
     "DetectionResult",
     "DetectionStudy",
     "DroopMonitor",
@@ -46,5 +49,8 @@ __all__ = [
     "ScanFinding",
     "ScanReport",
     "StageBounds",
+    "arms_target",
     "default_defenses",
+    "parse_arms_target",
+    "resolve_defense",
 ]

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, replace as dc_replace
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -33,9 +33,18 @@ from ..striker.bank import effective_bank_current
 from ..striker.cell import StrikerCell
 from .droop_monitor import DroopMonitor
 from .hardened_engine import HardenedAcceleratorEngine
+from .recovery import RecoveryStats
 
-__all__ = ["ArmsRaceCell", "ArmsRaceStudy", "DetectionResult",
-           "DetectionStudy", "default_defenses"]
+__all__ = ["ArmsRaceCell", "ArmsRaceStudy", "DefendedCellRunner",
+           "DetectionResult", "DetectionStudy", "arms_target",
+           "default_defenses", "parse_arms_target", "resolve_defense"]
+
+
+def _reseed(rng: np.random.Generator, seed: int) -> None:
+    """Reset a generator in place so aliased references follow along
+    (the hardened engine's razor and replay fault models share the
+    engine generator)."""
+    rng.bit_generator.state = np.random.default_rng(seed).bit_generator.state
 
 
 @dataclass(frozen=True)
@@ -67,6 +76,11 @@ class DetectionStudy:
                                  GateDelayModel(self.config.delay))
         windows = engine.schedule.windows()
         self.target = max(windows, key=lambda w: w.plan.lanes)
+        # Clean traces keyed by seed-offset family (100 = fit set, 900 =
+        # false-alarm set), grown lazily.  Each trace is fully determined
+        # by its seed, so memoizing across evaluate()/sweep() calls
+        # changes nothing but the wall clock.
+        self._trace_sets: Dict[int, List[np.ndarray]] = {}
 
     # -- trace generation ----------------------------------------------------
 
@@ -89,8 +103,17 @@ class DetectionStudy:
         pdn.settle(STALL_CURRENT)
         return self.sensor.sample_trace(pdn.simulate(current))
 
+    def _clean_set(self, base: int, n: int) -> List[np.ndarray]:
+        """First ``n`` clean traces of the ``seed + base + k`` family,
+        memoized (an intensity sweep reuses them across every cell)."""
+        traces = self._trace_sets.setdefault(base, [])
+        while len(traces) < n:
+            traces.append(self._trace(None, 0,
+                                      self.seed + base + len(traces)))
+        return traces[:n]
+
     def clean_traces(self, n: int = 4) -> List[np.ndarray]:
-        return [self._trace(None, 0, self.seed + 100 + k) for k in range(n)]
+        return self._clean_set(100, n)
 
     def attacked_trace(self, bank_cells: int, n_strikes: int,
                        seed_offset: int = 0) -> np.ndarray:
@@ -133,8 +156,7 @@ class DetectionStudy:
                     latencies.append(latency)
 
         false_alarms = 0
-        for k in range(clean_trials):
-            fresh = self._trace(None, 0, self.seed + 900 + k)
+        for fresh in self._clean_set(900, clean_trials):
             if monitor.watch(fresh).detected:
                 false_alarms += 1
 
@@ -172,6 +194,66 @@ def default_defenses() -> Tuple[Tuple[str, Optional[RecoveryConfig]], ...]:
     )
 
 
+#: Campaign target grammar for arms-race cells (see :func:`arms_target`).
+ARMS_TARGET_PREFIX = "arms:"
+
+
+def resolve_defense(label: str) -> Optional[RecoveryConfig]:
+    """The standard defense-label registry used by campaign workers.
+
+    Campaign cells carry only the *label* over the wire (inside the
+    ``arms:`` target string), so a defended campaign is restricted to
+    this registry; bespoke :class:`~repro.config.RecoveryConfig` axes
+    go through :meth:`ArmsRaceStudy.sweep` directly.
+    """
+    if label == "none":
+        return None
+    if label == "recover":
+        return RecoveryConfig(exhaustion_policy="accept")
+    if label == "tmr":
+        return RecoveryConfig(tmr_final_fc=True, exhaustion_policy="accept")
+    raise ConfigError(
+        f"unknown defense label '{label}' (expected none/recover/tmr)"
+    )
+
+
+def arms_target(layer: str, defense: str, bank_cells: int) -> str:
+    """Encode one arms-race column as a campaign target string,
+    ``arms:<layer>:<defense>@<bank_cells>`` — the grammar that lets the
+    arms-race grid ride the campaign orchestration (supervisor, cell
+    cache, checkpoints) unchanged, with strike counts as the per-cell
+    axis."""
+    if not layer or ":" in layer or "@" in layer:
+        raise ConfigError(f"bad arms-race layer name '{layer}'")
+    resolve_defense(defense)  # label must be registry-resolvable
+    if bank_cells < 1:
+        raise ConfigError(f"bank_cells must be >= 1, got {bank_cells}")
+    return f"{ARMS_TARGET_PREFIX}{layer}:{defense}@{bank_cells}"
+
+
+def parse_arms_target(target: str) -> Tuple[str, str, int]:
+    """Decode :func:`arms_target`; returns (layer, defense, bank_cells)."""
+    if not target.startswith(ARMS_TARGET_PREFIX):
+        raise ConfigError(f"not an arms-race target: '{target}'")
+    body = target[len(ARMS_TARGET_PREFIX):]
+    head, sep, bank = body.rpartition("@")
+    layer, sep2, defense = head.partition(":")
+    if not sep or not sep2 or not layer or not defense:
+        raise ConfigError(
+            f"bad arms-race target '{target}' "
+            f"(expected arms:<layer>:<defense>@<bank_cells>)"
+        )
+    try:
+        bank_cells = int(bank)
+    except ValueError:
+        raise ConfigError(
+            f"bad bank size in arms-race target '{target}'"
+        ) from None
+    if bank_cells < 1:
+        raise ConfigError(f"bank_cells must be >= 1, got {bank_cells}")
+    return layer, defense, bank_cells
+
+
 @dataclass(frozen=True)
 class ArmsRaceCell:
     """One (striker intensity, defense) cell of the arms-race grid."""
@@ -206,6 +288,17 @@ class ArmsRaceStudy:
     :class:`~repro.config.RecoveryConfig`.  Per-cell RNG seeds derive
     from the study seed and the cell coordinates, so any cell can be
     reproduced in isolation.
+
+    The study is the arms-race *hot path* (docs/performance.md): the
+    quantized model, clean predictions, clean/defended stage-code
+    caches, calibrated clamps, and noise-free PDN strike pricing are all
+    computed once and shared across every ``(bank_cells, n_strikes,
+    defense)`` cell — engines are cached per defense label, strikers per
+    bank size, plans per (layer, bank, strikes).  None of the shared
+    work draws randomness, and every cell resets its engine's generator
+    in place to ``default_rng(cell_seed)`` before injecting, so a warm
+    study emits bit-identical cells to a cold one
+    (``tests/defense/test_armsrace_reuse.py``).
     """
 
     def __init__(self, model: QuantizedModel, images: np.ndarray,
@@ -225,6 +318,13 @@ class ArmsRaceStudy:
         self.target_layer = target_layer
         self.input_shape = input_shape
         self.seed = seed
+        # Cross-cell reuse state (all RNG-free to build; see class doc).
+        self._engines: Dict[str, Tuple[Optional[RecoveryConfig],
+                                       AcceleratorEngine]] = {}
+        self._plan_engine: Optional[AcceleratorEngine] = None
+        self._planners: Dict[int, object] = {}
+        self._plans: Dict[Tuple[str, int, int], object] = {}
+        self._clean_preds: Optional[np.ndarray] = None
 
     def _cell_seed(self, bank_cells: int, n_strikes: int,
                    defense: str) -> int:
@@ -246,24 +346,85 @@ class ArmsRaceStudy:
             engine.calibrate(self.images)
         return engine
 
+    def _engine_for(self, defense: str,
+                    recovery: Optional[RecoveryConfig]
+                    ) -> AcceleratorEngine:
+        """One engine per defense label, rebuilt only if the label is
+        re-used with a different recovery config."""
+        entry = self._engines.get(defense)
+        if entry is not None and entry[0] == recovery:
+            return entry[1]
+        engine = self._build_engine(recovery, np.random.default_rng(0))
+        self._engines[defense] = (recovery, engine)
+        return engine
+
+    def _plan(self, layer: str, bank_cells: int, n_strikes: int):
+        """Strike plan shared by every defense arm of a cell.
+
+        Pricing is deterministic (noise-free PDN, settled-state
+        snapshot) and independent of the recovery section, so one plain
+        planning engine serves all defenses; strikers are cached per
+        bank size to reuse their settled-trace cache across plans.
+        """
+        key = (layer, bank_cells, n_strikes)
+        plan = self._plans.get(key)
+        if plan is None:
+            from ..core.attack import DeepStrike
+            striker = self._planners.get(bank_cells)
+            if striker is None:
+                if self._plan_engine is None:
+                    self._plan_engine = AcceleratorEngine(
+                        self.model, self.config, np.random.default_rng(0),
+                        self.input_shape)
+                striker = DeepStrike(self._plan_engine, bank_cells,
+                                     np.random.default_rng(0))
+                self._planners[bank_cells] = striker
+            plan = striker.plan_for_layer(layer, n_strikes)
+            self._plans[key] = plan
+        return plan
+
+    def clean_predictions(self) -> np.ndarray:
+        """Clean model predictions on the eval slice (engine-independent
+        and RNG-free; computed once)."""
+        if self._clean_preds is None:
+            self._clean_preds = self.model.predict(self.images)
+        return self._clean_preds
+
     def run_cell(self, bank_cells: int, n_strikes: int,
                  recovery: Optional[RecoveryConfig] = None,
-                 label: Optional[str] = None) -> ArmsRaceCell:
+                 label: Optional[str] = None,
+                 target_layer: Optional[str] = None) -> ArmsRaceCell:
         """Execute one grid cell; ``recovery=None`` is the undefended
-        baseline."""
-        from ..core.attack import DeepStrike
+        baseline.  ``target_layer`` overrides the study default (the
+        per-cell seed scheme is unchanged — it covers the intensity and
+        defense coordinates)."""
         defense = label if label is not None else (
             "none" if recovery is None else "recover"
         )
-        rng = np.random.default_rng(
-            self._cell_seed(bank_cells, n_strikes, defense)
-        )
-        engine = self._build_engine(recovery, rng)
-        striker = DeepStrike(engine, bank_cells, rng)
-        plan = striker.plan_for_layer(self.target_layer, n_strikes)
+        layer = target_layer if target_layer is not None \
+            else self.target_layer
+        engine = self._engine_for(defense, recovery)
+        plan = self._plan(layer, bank_cells, n_strikes)
+        clean_preds = self.clean_predictions()
 
-        clean_preds = engine.predict_clean(self.images)
-        att_preds = engine.predict_under_attack(self.images, plan.struck)
+        # Injection is the cell's only RNG consumer: resetting the
+        # engine generator (and the razor/replay models aliasing it) to
+        # the cell seed reproduces a cold, fresh-engine run exactly.
+        _reseed(engine.rng, self._cell_seed(bank_cells, n_strikes,
+                                            defense))
+        if isinstance(engine, HardenedAcceleratorEngine):
+            engine.stats = RecoveryStats()
+            engine.razor.reset()
+            att_preds = engine.predict_under_attack(self.images,
+                                                    plan.struck)
+        else:
+            # Undefended baseline: skip the stages upstream of the
+            # struck layer via the engine's cached clean forward pass
+            # (RNG-free, so the cell stream is untouched).
+            att_preds = engine.predict_under_attack(
+                self.images, plan.struck,
+                stage_codes=engine.clean_stage_codes(self.images),
+            )
         stats = getattr(engine, "stats", None)
         return ArmsRaceCell(
             bank_cells=bank_cells,
@@ -292,3 +453,71 @@ class ArmsRaceStudy:
                 cells.append(self.run_cell(bank_cells, n_strikes,
                                            recovery, label))
         return cells
+
+    def campaign_spec(self, intensities: Sequence[Tuple[int, int]],
+                      defenses: Optional[Sequence[
+                          Tuple[str, Optional[RecoveryConfig]]]] = None):
+        """The same grid as :meth:`sweep`, expressed as a
+        :class:`~repro.core.campaign.CampaignSpec` so it runs through
+        ``run_campaign``'s supervisor/cache/checkpoint machinery.
+
+        Each ``(bank_cells, defense)`` column becomes one sweep whose
+        target is :func:`arms_target` and whose counts are the strike
+        intensities.  Only registry defenses (:func:`resolve_defense`)
+        are expressible — workers rebuild the recovery config from the
+        label alone.  Execution order differs from :meth:`sweep`
+        (column-major vs intensity-major) but cells are seed-isolated,
+        so the *set* of cells is bit-identical either way.
+        """
+        from ..core.campaign import CampaignSpec
+
+        axis = tuple(defenses) if defenses is not None else \
+            default_defenses()
+        for lbl, recovery in axis:
+            if resolve_defense(lbl) != recovery:
+                raise ConfigError(
+                    f"defense '{lbl}' is not expressible as a campaign "
+                    f"cell: its recovery config does not match the "
+                    f"standard registry (use ArmsRaceStudy.sweep)"
+                )
+        columns: Dict[str, List[int]] = {}
+        for bank_cells, n_strikes in intensities:
+            for lbl, _recovery in axis:
+                target = arms_target(self.target_layer, lbl, bank_cells)
+                counts = columns.setdefault(target, [])
+                if n_strikes not in counts:
+                    counts.append(n_strikes)
+        return CampaignSpec(
+            sweeps=tuple((target, tuple(sorted(counts)))
+                         for target, counts in columns.items()),
+            blind_counts=(),
+            eval_images=int(self.images.shape[0]),
+            seed=self.seed,
+        )
+
+
+class DefendedCellRunner:
+    """Executes arms-race campaign cells on one warm
+    :class:`ArmsRaceStudy`.
+
+    The campaign executor caches one runner per process (in its blind
+    box, next to the blind-baseline attack) and feeds it
+    ``(arms:<layer>:<defense>@<bank>, n_strikes)`` cells; all
+    cross-cell reuse lives in the study, and per-cell seeding is the
+    study's own ``_cell_seed`` scheme — which is what makes campaign
+    cells bit-identical to a direct :meth:`ArmsRaceStudy.sweep`.
+    """
+
+    def __init__(self, model: QuantizedModel, images: np.ndarray,
+                 labels: np.ndarray,
+                 config: Optional[SimulationConfig] = None,
+                 seed: int = 0,
+                 input_shape: Tuple[int, ...] = (1, 28, 28)) -> None:
+        self.study = ArmsRaceStudy(model, images, labels, config=config,
+                                   input_shape=input_shape, seed=seed)
+
+    def run(self, target: str, count: int) -> ArmsRaceCell:
+        layer, defense, bank_cells = parse_arms_target(target)
+        recovery = resolve_defense(defense)
+        return self.study.run_cell(bank_cells, count, recovery,
+                                   label=defense, target_layer=layer)

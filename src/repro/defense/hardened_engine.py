@@ -5,9 +5,9 @@
 docs/defense.md:
 
 1. **Razor detection** — shadow latches watch every DSP capture the
-   strikes expose (via the engine's ``_observe_fault_types`` hook) and
-   flag timing misses class-conditionally: shallow duplication faults
-   with high coverage, deep random faults with lower coverage.
+   strikes expose (via the engine's batched ``_observe_fault_sites``
+   hook) and flag timing misses class-conditionally: shallow duplication
+   faults with high coverage, deep random faults with lower coverage.
 2. **Checkpoint/rollback replay** — a layer's input is its checkpoint
    (the engine already threads it to the injectors).  A razor flag, or a
    droop-monitor alarm on the layer, rolls the layer back and replays it
@@ -24,6 +24,21 @@ docs/defense.md:
 All recovery work is metered in :class:`~repro.defense.RecoveryStats`;
 on clean traffic the runtime adds zero overhead and leaves outputs
 bit-identical to the undefended engine.
+
+Hot path (docs/performance.md, "defense hot path"): the razor watches
+the injectors' *sparse fault sites* through one batched observation per
+injection pass instead of a dense per-image Python loop — under the
+``fxp`` policy via :meth:`RazorDetector.observe_batch_dense`, whose RNG
+stream is byte-identical to the per-image reference, and under ``fp32``
+via the sparse per-site draws of
+:meth:`RazorDetector.observe_batch_sparse` (distribution-identical,
+different stream — the repo-wide fp32 trade).  The defended clean
+forward pass (every stage upstream of the first struck/alarmed/TMR
+layer, clamps included) is cached per images identity, and the
+divided-clock replay fault models are built once per engine with their
+voltage-quadrature results memoized per (exposure record, model), so a
+study reusing one engine across cells never re-prices the replay
+physics.
 """
 
 from __future__ import annotations
@@ -65,7 +80,10 @@ class HardenedAcceleratorEngine(AcceleratorEngine):
         self.stats = RecoveryStats()
         self.clamp: Optional[ActivationClamp] = None
         # Replay-path fault models: same physics, capture period
-        # stretched by the replay clock divisor.
+        # stretched by the replay clock divisor.  Built once per engine;
+        # their per-strike-pattern quadratures are memoized inside the
+        # exposure records (keyed by model identity), so replays after
+        # the first pay only the injection itself.
         delay_model = GateDelayModel(self.config.delay)
         dsp = self.config.dsp
         self._dsp_faults_replay = TimingFaultModel(
@@ -83,7 +101,20 @@ class HardenedAcceleratorEngine(AcceleratorEngine):
         )
         # Per-image razor flags captured during one injection pass; None
         # outside a capture window (clean paths never sample the razor).
-        self._capture: Optional[List[bool]] = None
+        # Entries are per-batch flag arrays (the batched hook) or
+        # scalar bools (the legacy per-image hook).
+        self._capture: Optional[List[np.ndarray]] = None
+        # True while the recovery state machine guarantees that any
+        # image the razor flags in the *current* injection pass will be
+        # rolled back and replayed — which lets the fp32 injectors drop
+        # the flagged images' post-detection work (see
+        # :meth:`_doomed_images`).
+        self._discard_flagged = False
+        # Defended clean forward pass (stage outputs with clamps
+        # applied, plus per-stage clamp counts), cached per (images
+        # identity, clamp identity).  Deterministic and RNG-free, so a
+        # study can reuse it across every cell on the same eval slice.
+        self._defended_prefix: Optional[tuple] = None
 
     # -- calibration ----------------------------------------------------------
 
@@ -95,7 +126,7 @@ class HardenedAcceleratorEngine(AcceleratorEngine):
                                                rc.clamp_margin)
         return self.clamp
 
-    # -- razor hook ----------------------------------------------------------
+    # -- razor hooks ----------------------------------------------------------
 
     def _observe_fault_types(self, types: np.ndarray,
                              voltages: np.ndarray) -> None:
@@ -105,6 +136,40 @@ class HardenedAcceleratorEngine(AcceleratorEngine):
             self._capture.append(self.razor.observe(types))
         else:
             self._capture.append(False)
+
+    def _observe_fault_sites(self, n_images: int, n_ops: int,
+                             img: np.ndarray, pos: np.ndarray,
+                             dup: np.ndarray,
+                             voltages: np.ndarray) -> None:
+        if self._capture is None:
+            return
+        if not self.config.recovery.razor_enabled:
+            self._capture.append(np.zeros(n_images, dtype=bool))
+        elif self.dtype_policy == "fp32":
+            self._capture.append(
+                self.razor.observe_batch_sparse(n_images, img, dup)
+            )
+        else:
+            self._capture.append(
+                self.razor.observe_batch_dense(n_images, n_ops, img, pos,
+                                               dup)
+            )
+
+    def _doomed_images(self) -> Optional[np.ndarray]:
+        """Razor flags of the pass that just observed, when a rollback
+        replay is guaranteed to overwrite the flagged images' outputs.
+
+        fp32 tier only: skipping a doomed image's garbage draws changes
+        the draw count, which the fxp byte-parity contract forbids.  The
+        decision itself is unchanged — flags are already final when this
+        hook runs, and the replacement output comes from a full replay.
+        """
+        if (self._discard_flagged and self._capture
+                and self.dtype_policy == "fp32"):
+            flags = self._capture[-1]
+            if isinstance(flags, np.ndarray) and flags.any():
+                return flags
+        return None
 
     # -- droop-monitor glue ----------------------------------------------------------
 
@@ -129,6 +194,37 @@ class HardenedAcceleratorEngine(AcceleratorEngine):
 
     # -- hardened inference ----------------------------------------------------------
 
+    def _defended_clean(self, images: np.ndarray
+                        ) -> Tuple[List[np.ndarray], List[int]]:
+        """Defended clean forward pass, cached per images identity.
+
+        Returns ``(codes, clamped)``: ``codes[0]`` is the quantized
+        input and ``codes[i + 1]`` stage ``i``'s output *after* any
+        activation clamp; ``clamped[i]`` is stage ``i``'s clamp count.
+        Entirely deterministic and RNG-free, so reuse cannot shift any
+        injection stream; callers must treat the arrays as read-only.
+        """
+        cache = self._defended_prefix
+        if cache is not None and cache[0] is images \
+                and cache[1] is self.clamp:
+            return cache[2], cache[3]
+        rc = self.config.recovery
+        codes = self._quantize_input(np.asarray(images))
+        out = [codes]
+        clamped: List[int] = []
+        for stage in self.model.stages:
+            name = getattr(stage, "name", "")
+            plan = self._plan_by_name.get(name)
+            codes = self._forward_stage(stage, codes)
+            n_clamped = 0
+            if (plan is not None and rc.clamp_activations
+                    and plan.kind in ("conv", "dense", "pool")):
+                codes, n_clamped = self.clamp.apply(name, codes)
+            out.append(codes)
+            clamped.append(n_clamped)
+        self._defended_prefix = (images, self.clamp, out, clamped)
+        return out, clamped
+
     def infer_under_attack(self, images: np.ndarray,
                            struck: Sequence[StruckCycles],
                            alarmed_layers: Optional[Sequence[str]] = None,
@@ -138,6 +234,12 @@ class HardenedAcceleratorEngine(AcceleratorEngine):
         ``alarmed_layers`` names layers flagged externally (droop-monitor
         alarms mapped through :meth:`layers_at_ticks`); they are replayed
         at the divided clock even if no razor flag fires.
+
+        Stages upstream of the first struck/alarmed/TMR layer come from
+        the cached defended clean pass (:meth:`_defended_clean`) — they
+        draw no randomness and their clamp counts are replayed into the
+        stats, so the skip is invisible to both the RNG stream and the
+        accounting.
         """
         rc = self.config.recovery
         by_layer = self._index_strikes(struck)
@@ -151,15 +253,27 @@ class HardenedAcceleratorEngine(AcceleratorEngine):
                 "calibrated; call calibrate() first"
             )
         final_fc = self._final_dense_name()
-        codes = self.model.quantize_input(images)
-        n_images = int(codes.shape[0])
+        stages = self.model.stages
+        active = [self._plan_by_name[name].stage_index
+                  for name, entry in by_layer.items() if entry.count > 0]
+        active.extend(self._plan_by_name[name].stage_index
+                      for name in alarmed)
+        if rc.tmr_final_fc and final_fc:
+            active.append(self._plan_by_name[final_fc].stage_index)
+        first = min(active) if active else len(stages)
+
+        prefix_codes, prefix_clamped = self._defended_clean(images)
+        n_images = int(prefix_codes[0].shape[0])
         self.stats.images += n_images
         self.stats.base_cycles += n_images * self.schedule.total_cycles
-        for index, stage in enumerate(self.model.stages):
+        self.stats.clamped_values += sum(prefix_clamped[:first])
+        codes = prefix_codes[first]
+        for index in range(first, len(stages)):
+            stage = stages[index]
             name = getattr(stage, "name", "")
             plan = self._plan_by_name.get(name)
             if plan is None:  # tanh/flatten: no schedule window, no DSPs
-                codes = stage.forward_codes(codes)
+                codes = self._forward_stage(stage, codes)
                 continue
             x_in = codes
             entry = by_layer.get(name)
@@ -170,7 +284,7 @@ class HardenedAcceleratorEngine(AcceleratorEngine):
                 codes = self._recover_layer(stage, index, plan, entry,
                                             x_in, name in alarmed)
             else:
-                codes = stage.forward_codes(codes)
+                codes = self._forward_stage(stage, codes)
                 if name in alarmed:
                     # Precautionary replay: the monitor alarmed on a
                     # layer the planner did not strike.  The slow-clock
@@ -215,7 +329,7 @@ class HardenedAcceleratorEngine(AcceleratorEngine):
         Returns ``(flags, codes)`` where ``flags[i]`` says image ``i``'s
         shadow latches caught a timing miss.
         """
-        codes = stage.forward_codes(x_in)
+        codes = self._forward_stage(stage, x_in)
         self._capture = []
         try:
             codes = self._apply_stage_faults(stage, index, entry, x_in,
@@ -223,12 +337,15 @@ class HardenedAcceleratorEngine(AcceleratorEngine):
         finally:
             captured = self._capture
             self._capture = None
-        if len(captured) != x_in.shape[0]:
-            # The injectors sample fault types exactly once per image.
+        flags = np.concatenate(
+            [np.atleast_1d(np.asarray(c, dtype=bool)) for c in captured]
+        ) if captured else np.zeros(0, dtype=bool)
+        if flags.shape[0] != x_in.shape[0]:
+            # The injectors report fault sites exactly once per batch
+            # (or, through the legacy hook, once per image).
             raise ConfigError(
                 "razor capture out of step with the injection path"
             )
-        flags = np.asarray(captured, dtype=bool)
         self.stats.razor_flags += int(np.count_nonzero(flags))
         return flags, codes
 
@@ -242,7 +359,14 @@ class HardenedAcceleratorEngine(AcceleratorEngine):
         runs out.
         """
         rc = self.config.recovery
-        flags, out = self._inject_with_flags(stage, index, entry, x_in)
+        # Attempt 0's flagged images are guaranteed a replay whenever
+        # the budget allows at least one — their outputs are doomed, so
+        # the fp32 injectors may skip their post-detection work.
+        self._discard_flagged = rc.max_replays_per_layer > 0
+        try:
+            flags, out = self._inject_with_flags(stage, index, entry, x_in)
+        finally:
+            self._discard_flagged = False
         if forced_alarm:
             self.stats.forced_replays += int(np.count_nonzero(~flags))
             flags = np.ones_like(flags)
@@ -264,10 +388,17 @@ class HardenedAcceleratorEngine(AcceleratorEngine):
             self.stats.replay_cycles += int(
                 pending.size * plan.cycles * rc.replay_clock_divisor
             )
-            with self._replay_models():
-                sub_flags, sub = self._inject_with_flags(
-                    stage, index, entry, x_in[pending]
-                )
+            # A replay's flagged images get another replay only while
+            # budget remains; on the final allowed attempt the output
+            # may be accepted, so it must be genuine.
+            self._discard_flagged = attempt < rc.max_replays_per_layer
+            try:
+                with self._replay_models():
+                    sub_flags, sub = self._inject_with_flags(
+                        stage, index, entry, x_in[pending]
+                    )
+            finally:
+                self._discard_flagged = False
             out[pending] = sub
             pending = pending[sub_flags]
         return out
@@ -286,7 +417,7 @@ class HardenedAcceleratorEngine(AcceleratorEngine):
         n_images = int(x_in.shape[0])
         votes = []
         for _ in range(3):
-            codes = stage.forward_codes(x_in)
+            codes = self._forward_stage(stage, x_in)
             if entry is not None and entry.count > 0:
                 codes = self._apply_stage_faults(stage, index, entry,
                                                  x_in, codes)

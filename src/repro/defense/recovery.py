@@ -54,6 +54,12 @@ class RazorDetector:
         self.stats = {"dup_seen": 0, "dup_flagged": 0,
                       "random_seen": 0, "random_flagged": 0}
 
+    def reset(self) -> None:
+        """Zero the coverage counters (a study reuses one detector
+        across cells; the RNG stream is the caller's to reseed)."""
+        self.stats = {"dup_seen": 0, "dup_flagged": 0,
+                      "random_seen": 0, "random_flagged": 0}
+
     def observe(self, types: np.ndarray) -> bool:
         """True if the shadow latches flag any op in this stream.
 
@@ -76,6 +82,73 @@ class RazorDetector:
         self.stats["dup_flagged"] += int(np.count_nonzero(dup_hit))
         self.stats["random_flagged"] += int(np.count_nonzero(rnd_hit))
         return bool(np.any(dup_hit) or np.any(rnd_hit))
+
+    def observe_batch_dense(self, n_images: int, n_ops: int,
+                            img: np.ndarray, pos: np.ndarray,
+                            dup_mask: np.ndarray) -> np.ndarray:
+        """Batched :meth:`observe` over a whole injection batch's sparse
+        fault sites — byte-identical RNG stream to the per-image loop.
+
+        ``(img, pos)`` are the faulted sites in row-major (image-major)
+        order and ``dup_mask`` their class split.  The per-image
+        reference draws ``rng.random(n_ops)`` for each image with at
+        least one faulted op, in image order, and nothing for fault-free
+        images; ``rng.random((k, n_ops))`` consumes the *identical*
+        stream as ``k`` sequential row draws, so one batched draw over
+        the flagged images reproduces the reference stream exactly
+        (pinned by ``tests/defense/test_batched_razor.py``).
+
+        Returns a ``(n_images,)`` bool array of per-image razor flags.
+        """
+        flags = np.zeros(n_images, dtype=bool)
+        if img.size == 0:
+            return flags
+        n_dup = int(np.count_nonzero(dup_mask))
+        self.stats["dup_seen"] += n_dup
+        self.stats["random_seen"] += int(img.size) - n_dup
+        # Images with >= 1 faulted op, ascending == image order (sites
+        # arrive image-major); row r of the batched draw is the matrix
+        # the reference drew for flagged image uniq[r].
+        uniq, inv = np.unique(img, return_inverse=True)
+        draws = self.rng.random((uniq.size, n_ops))
+        site_draws = draws[inv, pos]
+        coverage = np.where(dup_mask, self.config.razor_dup_coverage,
+                            self.config.razor_random_coverage)
+        hit = site_draws < coverage
+        n_dup_hit = int(np.count_nonzero(hit & dup_mask))
+        self.stats["dup_flagged"] += n_dup_hit
+        self.stats["random_flagged"] += int(np.count_nonzero(hit)) - n_dup_hit
+        flags[img[hit]] = True
+        return flags
+
+    def observe_batch_sparse(self, n_images: int, img: np.ndarray,
+                             dup_mask: np.ndarray) -> np.ndarray:
+        """Fast-tier batched observation: one float32 draw per faulted
+        site instead of one per (flagged image, exposed op).
+
+        Coverage is per *site*, exactly the law the reference applies —
+        a non-faulted op can never flag, so its draw is pure stream
+        ballast.  The stream therefore differs from the fixed-point
+        reference (the documented ``fp32`` trade: distribution-identical
+        decisions, different draws); the ``fxp`` tier keeps
+        :meth:`observe_batch_dense`.
+        """
+        flags = np.zeros(n_images, dtype=bool)
+        if img.size == 0:
+            return flags
+        n_dup = int(np.count_nonzero(dup_mask))
+        self.stats["dup_seen"] += n_dup
+        self.stats["random_seen"] += int(img.size) - n_dup
+        draws = self.rng.random(img.size, dtype=np.float32)
+        coverage = np.where(dup_mask,
+                            np.float32(self.config.razor_dup_coverage),
+                            np.float32(self.config.razor_random_coverage))
+        hit = draws < coverage
+        n_dup_hit = int(np.count_nonzero(hit & dup_mask))
+        self.stats["dup_flagged"] += n_dup_hit
+        self.stats["random_flagged"] += int(np.count_nonzero(hit)) - n_dup_hit
+        flags[img[hit]] = True
+        return flags
 
 
 @dataclass(frozen=True)

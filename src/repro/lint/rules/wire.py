@@ -11,10 +11,14 @@ wire code — but it only works for annotations it can actually act on:
   ``Optional[ClockConfig]`` fails the codec's
   ``dataclasses.is_dataclass(hint)`` check, so the field would arrive
   as a raw ``dict`` — type-drifted, silently.
-* every leaf must survive a JSON round trip.  ``Tuple[...]`` comes back
-  as ``list`` (equality breaks), ``bytes``/``np.ndarray``/``Callable``
-  do not serialize at all (ndarrays have their own bespoke codec and
-  never ride inside the recipe).
+* every leaf must survive a JSON round trip.  A *top-level*
+  ``Tuple[...]`` field is restored by the codec's tuple branch (JSON
+  lists are converted back when the field hint's origin is ``tuple`` —
+  the defense grid's ``input_shape`` rides this), but a tuple *nested*
+  inside a container or ``Optional`` still comes back as ``list``
+  (equality breaks), and ``bytes``/``np.ndarray``/``Callable`` do not
+  serialize at all (ndarrays have their own bespoke codec and never
+  ride inside the recipe).
 
 ``REPRO-WIRE001`` statically walks every dataclass reachable from the
 wire roots and flags any field annotation the codec cannot faithfully
@@ -82,8 +86,9 @@ class WireCompletenessRule(ProjectRule):
                 "drift on the wire.")
     hint = ("annotate nested dataclasses bare (not Optional[...]/"
             "containers), keep leaves JSON-native (int/float/str/bool/"
-            "Optional of those); anything else needs bespoke codec "
-            "support in core/service/protocol.py")
+            "Optional of those, or top-level Tuple[...] of those); "
+            "anything else needs bespoke codec support in "
+            "core/service/protocol.py")
     scopes = ("repro/*",)
 
     #: Dataclasses that cross the wire as hint-rehydrated dicts.
@@ -202,13 +207,26 @@ class WireCompletenessRule(ProjectRule):
                         return problem
                 return None
             if base in ("Tuple", "tuple"):
-                return ("tuple annotation — JSON round-trips tuples as "
-                        "lists, so the rehydrated field drifts type")
+                if nested:
+                    return ("tuple nested inside a container/Optional — "
+                            "the codec only restores tuples at field top "
+                            "level, so this arrives as a list")
+                for element in elements:
+                    if isinstance(element, ast.Constant) \
+                            and element.value is Ellipsis:
+                        continue
+                    problem = self._classify(element, registry,
+                                             nested=True)
+                    if problem is not None:
+                        return problem
+                return None
             return (f"container '{base}[...]' is not JSON-rehydratable "
                     "by the generic codec")
         if name in ("Tuple", "tuple"):
-            return ("tuple annotation — JSON round-trips tuples as "
-                    "lists, so the rehydrated field drifts type")
+            # Bare (unsubscripted) tuple: typing.get_origin(tuple) is
+            # None, so the codec's tuple branch never fires.
+            return ("bare tuple annotation — subscript it "
+                    "(Tuple[int, ...]) so the codec can restore it")
         if name == "Any":
             return "'Any' annotation — not statically wire-safe"
         return (f"type '{name or ast.dump(node)[:40]}' is not "

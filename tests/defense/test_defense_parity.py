@@ -1,0 +1,176 @@
+"""Differential parity: the batched defended engine vs its references.
+
+Two tiers, mirroring ``tests/accel/test_backend_parity.py``:
+
+* **exact bytes** — under the fxp dtype policy the batched razor
+  observation path (``observe_batch_dense`` fed by the engine's
+  ``_observe_fault_sites`` hook) must be bit-identical, outputs *and*
+  stats, to the pre-batching per-image reference: the base engine's
+  site hook fanning each image out to ``_observe_fault_types``.  The
+  vectorization may not move a byte.
+* **pinned tolerance** — the fp32 fast tier draws different (by design)
+  fault streams, so defended arms-race cell metrics are pinned to a
+  small tolerance of the fxp reference instead.
+
+Plus the cross-cell reuse contract: a warm :class:`ArmsRaceStudy`
+(engines, plans, and clean traces cached across cells) must reproduce a
+cold study's cells exactly, in any order.
+"""
+
+from dataclasses import asdict, replace
+
+import numpy as np
+import pytest
+
+from repro.accel import AcceleratorEngine
+from repro.accel.engine import StruckCycles
+from repro.config import RecoveryConfig, default_config
+from repro.defense import HardenedAcceleratorEngine
+from repro.defense.evaluation import ArmsRaceStudy, resolve_defense
+from repro.nn.model import PROBE_INPUT_SHAPE
+
+MID_DROOP_V = 0.935
+DEEP_DROOP_V = 0.90
+#: Same per-cell attacked-accuracy tolerance the backend parity suite
+#: pins the fp32 tier to (worst observed delta 0.05; broken is 0.3+).
+ACCURACY_TOL = 0.08
+STRIKES = 4500
+
+
+class LegacyHardened(HardenedAcceleratorEngine):
+    """The pre-batching reference engine: razor observation through the
+    base engine's per-image fan-out (one ``_observe_fault_types`` call
+    per image) instead of the batched site hook."""
+
+    _observe_fault_sites = AcceleratorEngine._observe_fault_sites
+
+
+def _images(n=8, seed=5):
+    return np.random.default_rng(seed).random((n,) + PROBE_INPUT_SHAPE)
+
+
+def _strikes(layer="conv3x3", n_cycles=6, voltage=MID_DROOP_V):
+    cycles = np.arange(n_cycles)
+    return [StruckCycles(layer, cycles, np.full(n_cycles, voltage))]
+
+
+def _engine(cls, model, recovery=None, seed=1, calibrate=None,
+            input_shape=PROBE_INPUT_SHAPE):
+    config = default_config()
+    if recovery is not None:
+        config = replace(config, recovery=recovery)
+    engine = cls(model, config, np.random.default_rng(seed), input_shape)
+    if calibrate is not None:
+        engine.calibrate(calibrate)
+    return engine
+
+
+def _pair(model, recovery=None, seed=1, calibrate=None,
+          input_shape=PROBE_INPUT_SHAPE):
+    """(batched, legacy) engines in identical starting states."""
+    return (_engine(HardenedAcceleratorEngine, model, recovery, seed,
+                    calibrate, input_shape),
+            _engine(LegacyHardened, model, recovery, seed, calibrate,
+                    input_shape))
+
+
+class TestBatchedVsPerImageReference:
+    """fxp tier: vectorized detect/replay may not move a byte."""
+
+    def test_mid_droop_recovery_bit_identical(self, probe_quantized):
+        images = _images(n=16)
+        batched, legacy = _pair(probe_quantized, calibrate=images)
+        out_b = batched.infer_under_attack(images, _strikes())
+        out_l = legacy.infer_under_attack(images, _strikes())
+        assert np.array_equal(out_b, out_l)
+        assert batched.stats.as_dict() == legacy.stats.as_dict()
+        # Vacuity guard: the attack bit and the recovery machinery ran.
+        assert batched.stats.razor_flags > 0
+        assert batched.stats.replays > 0
+
+    def test_deep_droop_exhaustion_bit_identical(self, probe_quantized):
+        recovery = RecoveryConfig(replay_clock_divisor=1,
+                                  max_replays_per_layer=2,
+                                  exhaustion_policy="accept")
+        images = _images(n=8)
+        batched, legacy = _pair(probe_quantized, recovery, seed=3,
+                                calibrate=images)
+        strikes = _strikes(n_cycles=8, voltage=DEEP_DROOP_V)
+        assert np.array_equal(batched.infer_under_attack(images, strikes),
+                              legacy.infer_under_attack(images, strikes))
+        assert batched.stats.as_dict() == legacy.stats.as_dict()
+        assert batched.stats.exhausted > 0
+
+    def test_multi_layer_strikes_bit_identical(self, probe_quantized):
+        images = _images(n=12, seed=8)
+        batched, legacy = _pair(probe_quantized, seed=7, calibrate=images)
+        strikes = _strikes("conv3x3") + _strikes("conv1x1", n_cycles=4)
+        assert np.array_equal(batched.infer_under_attack(images, strikes),
+                              legacy.infer_under_attack(images, strikes))
+        assert batched.stats.as_dict() == legacy.stats.as_dict()
+
+    def test_lenet_victim_bit_identical(self, victim):
+        """The real victim drives the batched path through its largest
+        exposure records (where the dense grids actually trigger)."""
+        images = victim.dataset.test_images[:32]
+        batched, legacy = _pair(victim.quantized, seed=2,
+                                calibrate=images, input_shape=(1, 28, 28))
+        strikes = _strikes("conv2")
+        out_b = batched.infer_under_attack(images, strikes)
+        out_l = legacy.infer_under_attack(images, strikes)
+        assert np.array_equal(out_b, out_l)
+        assert batched.stats.as_dict() == legacy.stats.as_dict()
+        assert batched.stats.razor_flags > 0
+
+
+class TestFp32Tier:
+    """fp32 tier: distribution-identical, pinned by tolerance."""
+
+    def _cells(self, victim, dtype):
+        config = replace(default_config(), dtype_policy=dtype)
+        study = ArmsRaceStudy(victim.quantized,
+                              victim.dataset.test_images[:96],
+                              victim.dataset.test_labels[:96],
+                              config=config, seed=7)
+        return study.sweep([(5500, STRIKES)])
+
+    def test_defended_cell_metrics_within_tolerance(self, victim):
+        ref = self._cells(victim, "fxp")
+        fast = self._cells(victim, "fp32")
+        assert [(c.bank_cells, c.defense) for c in ref] == \
+            [(c.bank_cells, c.defense) for c in fast]
+        for a, b in zip(ref, fast):
+            # The clean pass has no randomness and every code fits
+            # float32 exactly — the clean tier owes exactness.
+            assert a.clean_accuracy == b.clean_accuracy
+            delta = abs(a.attacked_accuracy - b.attacked_accuracy)
+            assert delta <= ACCURACY_TOL, \
+                f"{a.defense}@{a.bank_cells}: fp32 attacked accuracy " \
+                f"off by {delta:.4f} (tol {ACCURACY_TOL})"
+
+
+class TestCrossCellReuse:
+    """A warm study's cached engines/plans/traces change no results."""
+
+    def _study(self, victim, seed=3):
+        return ArmsRaceStudy(victim.quantized,
+                             victim.dataset.test_images[:64],
+                             victim.dataset.test_labels[:64],
+                             seed=seed)
+
+    def test_warm_sweep_reproduces_cold_sweep_exactly(self, victim):
+        grid = [(3000, STRIKES), (5500, STRIKES)]
+        study = self._study(victim)
+        cold = study.sweep(grid)
+        warm = study.sweep(grid)  # every engine/plan/trace now cached
+        assert [asdict(c) for c in warm] == [asdict(c) for c in cold]
+
+    def test_cell_seeds_are_order_independent(self, victim):
+        recovery = resolve_defense("recover")
+        cold = self._study(victim).run_cell(5500, STRIKES, recovery,
+                                            label="recover")
+        warm_study = self._study(victim)
+        warm_study.run_cell(3000, STRIKES)  # consume engine RNG first
+        warm = warm_study.run_cell(5500, STRIKES, recovery,
+                                   label="recover")
+        assert asdict(warm) == asdict(cold)

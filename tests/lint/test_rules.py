@@ -340,16 +340,36 @@ class TestWireCompleteness:
         assert len(found) == 1
         assert "raw dict" in found[0].message
 
-    def test_tuple_field_flagged(self, make_tree, run_lint):
+    def test_top_level_tuple_of_atoms_passes(self, make_tree, run_lint):
+        # The codec restores top-level tuple-typed fields (list ->
+        # tuple), so Tuple[...] of JSON atoms is wire-safe — this is
+        # the shape of DefenseGridSpec.input_shape.
         root = make_tree({"repro/core/executor.py": (
             "from dataclasses import dataclass\n"
             "from typing import Tuple\n"
             "@dataclass(frozen=True)\n"
             "class WorkerRecipe:\n"
             "    window: Tuple[int, int] = (0, 0)\n"
+            "    shape: Tuple[int, ...] = (1, 28, 28)\n"
+        )})
+        assert ids(run_lint(root), "REPRO-WIRE001") == []
+
+    def test_nested_tuple_field_flagged(self, make_tree, run_lint):
+        # Inside Optional/containers the codec's tuple branch never
+        # fires (the hint origin is Union/list), so the value stays a
+        # list — still a wire hazard.
+        root = make_tree({"repro/core/executor.py": (
+            "from dataclasses import dataclass\n"
+            "from typing import List, Optional, Tuple\n"
+            "@dataclass(frozen=True)\n"
+            "class WorkerRecipe:\n"
+            "    window: Optional[Tuple[int, int]] = None\n"
+            "    spans: List[Tuple[int, int]] = None\n"
+            "    loose: tuple = ()\n"
         )})
         found = ids(run_lint(root), "REPRO-WIRE001")
-        assert len(found) == 1 and "tuple" in found[0].message
+        assert len(found) == 3
+        assert all("tuple" in f.message for f in found)
 
     def test_non_json_leaf_flagged_transitively(self, make_tree, run_lint):
         root = make_tree({"repro/core/executor.py": (
